@@ -1,0 +1,110 @@
+package conanalysis_test
+
+import (
+	"strings"
+	"testing"
+
+	conanalysis "github.com/conanalysis/owl"
+)
+
+// TestPublicAPIQuickstart exercises the README quick-start path through
+// the public surface only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	w := conanalysis.Workload("libsafe", conanalysis.NoiseLight)
+	if w == nil {
+		t.Fatal("workload registry empty")
+	}
+	rec := w.Recipe("attack")
+	res, err := conanalysis.Run(conanalysis.Program{
+		Module: w.Module, Inputs: rec.Inputs, MaxSteps: w.MaxSteps,
+	}, conanalysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Attacks) == 0 {
+		t.Fatal("no confirmed attacks via public API")
+	}
+	sum := conanalysis.FormatSummary("libsafe", res)
+	if !strings.Contains(sum, "CONFIRMED ATTACK") {
+		t.Errorf("summary missing confirmation:\n%s", sum)
+	}
+}
+
+func TestPublicAPICompileAndRun(t *testing.T) {
+	mod, err := conanalysis.CompileC("t.mc", `
+void main() {
+    print(6 * 7);
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := conanalysis.NewMachine(conanalysis.MachineConfig{
+		Module: mod, Sched: conanalysis.NewRoundRobinScheduler(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if len(res.Output) != 1 || res.Output[0] != "42" {
+		t.Errorf("output = %v", res.Output)
+	}
+}
+
+func TestPublicAPIIRAndDetector(t *testing.T) {
+	mod, err := conanalysis.ParseIR("t.oir", `
+global @x = 0
+func @worker() {
+entry:
+  store 1, @x
+  ret 0
+}
+func @main() {
+entry:
+  %t = call @spawn(@worker)
+  %v = load @x
+  %r = call @join(%t)
+  ret 0
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := conanalysis.NewRaceDetector()
+	m, err := conanalysis.NewMachine(conanalysis.MachineConfig{
+		Module: mod, Sched: conanalysis.NewRoundRobinScheduler(1),
+		Observers: []conanalysis.Observer{d},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run()
+	if len(d.Reports()) != 1 {
+		t.Errorf("reports = %d, want 1", len(d.Reports()))
+	}
+}
+
+func TestPublicAPIWorkloadNames(t *testing.T) {
+	names := conanalysis.WorkloadNames()
+	if len(names) != 7 {
+		t.Errorf("names = %v", names)
+	}
+	if conanalysis.Workload("nope", conanalysis.NoiseLight) != nil {
+		t.Error("unknown workload should be nil")
+	}
+}
+
+func TestPublicAPIBuilder(t *testing.T) {
+	b := conanalysis.NewBuilder("api")
+	b.Global("g", 1, 7)
+	f := b.Func("main")
+	f.Block("entry")
+	f.Ret(f.Load(conanalysis.GlobalOp("g")))
+	mod, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.Func("main") == nil {
+		t.Error("builder module missing main")
+	}
+}

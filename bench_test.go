@@ -1,0 +1,263 @@
+// Benchmark harness regenerating every table and figure of the paper's
+// evaluation (§8). Each benchmark runs the corresponding experiment and
+// reports the paper-comparable quantities as custom metrics:
+//
+//	BenchmarkTable1  — study summary (race-report counts per program)
+//	BenchmarkTable2  — detection results (attacks found / OWL reports)
+//	BenchmarkTable3  — report reduction (the 94.3% headline, full noise)
+//	BenchmarkTable4  — known-attack exploit repetitions
+//	BenchmarkFig1/2/6/7/8 — the per-figure end-to-end case studies
+//	BenchmarkAblation* — design-choice ablations from DESIGN.md §5
+//
+// Run with: go test -bench=. -benchmem .
+package conanalysis
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/conanalysis/owl/internal/audit"
+	"github.com/conanalysis/owl/internal/eval"
+	"github.com/conanalysis/owl/internal/interp"
+	"github.com/conanalysis/owl/internal/owl"
+	"github.com/conanalysis/owl/internal/sched"
+	"github.com/conanalysis/owl/internal/vuln"
+	"github.com/conanalysis/owl/internal/workloads"
+)
+
+// buildTablesOnce caches the expensive full-noise evaluation so Table
+// benchmarks share one run.
+var (
+	tablesOnce sync.Once
+	tablesFull *eval.Tables
+	tablesErr  error
+)
+
+func fullTables(b *testing.B) *eval.Tables {
+	b.Helper()
+	tablesOnce.Do(func() {
+		tablesFull, tablesErr = eval.BuildTables(eval.Config{Noise: workloads.NoiseFull})
+	})
+	if tablesErr != nil {
+		b.Fatal(tablesErr)
+	}
+	return tablesFull
+}
+
+func BenchmarkTable1(b *testing.B) {
+	var raw int
+	for i := 0; i < b.N; i++ {
+		t := fullTables(b)
+		raw = 0
+		for _, pe := range t.Programs {
+			raw += pe.RawReports
+		}
+	}
+	b.ReportMetric(float64(raw), "raw-reports")
+}
+
+func BenchmarkTable2(b *testing.B) {
+	var found, modelled int
+	for i := 0; i < b.N; i++ {
+		t := fullTables(b)
+		found, modelled = t.AttacksFoundTotal()
+	}
+	b.ReportMetric(float64(found), "attacks-found")
+	b.ReportMetric(float64(modelled), "attacks-modelled")
+	if found != modelled {
+		b.Errorf("found %d of %d attacks (paper: 10/10)", found, modelled)
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		t := fullTables(b)
+		ratio = t.ReductionRatio()
+	}
+	b.ReportMetric(100*ratio, "reduction-%")
+	if ratio < 0.80 {
+		b.Errorf("reduction ratio %.1f%%, paper reports 94.3%%", 100*ratio)
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	var within20, total int
+	for i := 0; i < b.N; i++ {
+		t := fullTables(b)
+		within20, total = 0, 0
+		for _, exs := range t.Exploits {
+			for _, ex := range exs {
+				total++
+				if ex.Succeeded && ex.Runs <= 20 {
+					within20++
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(within20), "within-20-reps")
+	b.ReportMetric(float64(total), "attacks")
+}
+
+func benchFigure(b *testing.B, id string) {
+	var f *eval.FigureResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		f, err = eval.Figure(id, eval.Config{Noise: workloads.NoiseLight})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if !eval.FigureOK(f) {
+		b.Errorf("figure reproduction failed: %s", f)
+	}
+	b.ReportMetric(float64(f.Reps), "exploit-reps")
+}
+
+// BenchmarkFig1 reproduces Figure 1: the Libsafe dying-flag race letting a
+// strcpy bypass the overflow check (code injection).
+func BenchmarkFig1(b *testing.B) { benchFigure(b, "fig1") }
+
+// BenchmarkFig2 reproduces Figure 2: the Linux uselib/msync f_op race and
+// its NULL function-pointer dereference, under the SKI-style explorer.
+func BenchmarkFig2(b *testing.B) { benchFigure(b, "fig2") }
+
+// BenchmarkFig6 reproduces Figure 6: the SSDB binlog use-after-free
+// (CVE-2016-1000324).
+func BenchmarkFig6(b *testing.B) { benchFigure(b, "fig6") }
+
+// BenchmarkFig7 reproduces Figure 7: the Apache #25520 buffered-log
+// overflow and HTML integrity violation.
+func BenchmarkFig7(b *testing.B) { benchFigure(b, "fig7") }
+
+// BenchmarkFig8 reproduces Figure 8: the Apache #46215 busy-counter
+// underflow DoS.
+func BenchmarkFig8(b *testing.B) { benchFigure(b, "fig8") }
+
+// runPipeline runs the application pipeline over one workload recipe with
+// the given options; used by the ablations.
+func runPipeline(b *testing.B, name, recipe string, opts owl.Options) *owl.Result {
+	b.Helper()
+	w := workloads.Get(name, workloads.NoiseLight)
+	rec := w.Recipe(recipe)
+	res, err := owl.Run(owl.Program{
+		Module: w.Module, Inputs: rec.Inputs, MaxSteps: w.MaxSteps,
+	}, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// strcpyFound reports whether the Libsafe strcpy site is among findings.
+func strcpyFound(res *owl.Result) bool {
+	for _, fs := range res.FindingsByReport {
+		for _, f := range fs {
+			if f.Site.IsCall() && f.Site.Callee().Name == "strcpy" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// BenchmarkAblationControlDep shows that disabling control-flow tracking
+// (the Livshits-style analysis of §9) loses the Libsafe attack while
+// full Algorithm 1 keeps it.
+func BenchmarkAblationControlDep(b *testing.B) {
+	var with, without bool
+	for i := 0; i < b.N; i++ {
+		with = strcpyFound(runPipeline(b, "libsafe", "attack", owl.Options{}))
+		without = strcpyFound(runPipeline(b, "libsafe", "attack", owl.Options{DisableCtrlFlow: true}))
+	}
+	if !with || without {
+		b.Errorf("ctrl-dep ablation wrong: with=%v without=%v (want true/false)", with, without)
+	}
+}
+
+// BenchmarkAblationInterProcedural shows that an intra-procedural analysis
+// (the Conseq/Yamaguchi limitation of §9) loses the cross-function Libsafe
+// site.
+func BenchmarkAblationInterProcedural(b *testing.B) {
+	var with, without bool
+	for i := 0; i < b.N; i++ {
+		with = strcpyFound(runPipeline(b, "libsafe", "attack", owl.Options{}))
+		without = strcpyFound(runPipeline(b, "libsafe", "attack", owl.Options{DisableInterProc: true}))
+	}
+	if !with || without {
+		b.Errorf("inter-proc ablation wrong: with=%v without=%v (want true/false)", with, without)
+	}
+}
+
+// BenchmarkAblationAdhoc measures the §5.1 schedule-reduction stage:
+// disabling it leaves the ad-hoc sync reports in the output.
+func BenchmarkAblationAdhoc(b *testing.B) {
+	var with, without int
+	for i := 0; i < b.N; i++ {
+		with = len(runPipeline(b, "mysql", "flush-attack", owl.Options{}).Annotated)
+		without = len(runPipeline(b, "mysql", "flush-attack", owl.Options{DisableAdhoc: true}).Annotated)
+	}
+	b.ReportMetric(float64(with), "reports-with-adhoc")
+	b.ReportMetric(float64(without), "reports-without")
+	if with >= without {
+		b.Errorf("adhoc annotation did not reduce reports: %d vs %d", with, without)
+	}
+}
+
+// BenchmarkAblationRaceVerify measures the §5.2 verification stage:
+// disabling it keeps the ordered-in-practice false positives.
+func BenchmarkAblationRaceVerify(b *testing.B) {
+	var with, without int
+	for i := 0; i < b.N; i++ {
+		with = runPipeline(b, "memcached", "benign", owl.Options{}).Stats.Remaining
+		without = runPipeline(b, "memcached", "benign", owl.Options{DisableRaceVerify: true}).Stats.Remaining
+	}
+	b.ReportMetric(float64(with), "remaining-with-verify")
+	b.ReportMetric(float64(without), "remaining-without")
+	if with >= without {
+		b.Errorf("race verification did not reduce reports: %d vs %d", with, without)
+	}
+}
+
+// BenchmarkPipelineLibsafe times the end-to-end pipeline on the smallest
+// workload (throughput reference).
+func BenchmarkPipelineLibsafe(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runPipeline(b, "libsafe", "attack", owl.Options{})
+	}
+}
+
+// BenchmarkAuditScope measures the paper's §7.2 application: restricting
+// runtime auditing to OWL-identified vulnerable paths. Reports the
+// fraction of events the scope filters out versus a full monitor.
+func BenchmarkAuditScope(b *testing.B) {
+	w := workloads.Get("libsafe", workloads.NoiseLight)
+	rec := w.Recipe("attack")
+	res, err := owl.Run(owl.Program{
+		Module: w.Module, Inputs: rec.Inputs, MaxSteps: w.MaxSteps,
+	}, owl.Options{DisableVulnVerify: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var findings []*vuln.Finding
+	for _, fs := range res.FindingsByReport {
+		findings = append(findings, fs...)
+	}
+	scope := audit.NewScope(findings)
+	var reduction float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mon := audit.NewMonitor(scope)
+		mon.KeepRecords = false
+		m, err := interp.New(interp.Config{
+			Module: w.Module, Inputs: rec.Inputs, MaxSteps: w.MaxSteps,
+			Sched: sched.NewRandom(uint64(i + 1)), Observers: []interp.Observer{mon},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Run()
+		reduction = mon.Reduction()
+	}
+	b.ReportMetric(100*reduction, "audit-reduction-%")
+}

@@ -1,0 +1,112 @@
+// Command minic compiles the small concurrent C-like language to OWL IR
+// (the "Source Code → clang → LLVM" edge of the paper's Figure 3) and can
+// run the result or push it straight through the OWL pipeline.
+//
+// Usage:
+//
+//	minic prog.mc                      # compile, print the .oir
+//	minic -o prog.oir prog.mc          # compile to a file
+//	minic -run [-inputs 1,2] prog.mc   # compile and execute
+//	minic -owl prog.mc                 # compile and run the OWL pipeline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/conanalysis/owl/internal/interp"
+	"github.com/conanalysis/owl/internal/minic"
+	"github.com/conanalysis/owl/internal/owl"
+	"github.com/conanalysis/owl/internal/report"
+	"github.com/conanalysis/owl/internal/sched"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "minic:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("minic", flag.ContinueOnError)
+	var (
+		out        = fs.String("o", "", "write the compiled .oir here (default: stdout)")
+		execute    = fs.Bool("run", false, "compile and execute")
+		pipeline   = fs.Bool("owl", false, "compile and run the OWL pipeline")
+		inputsFlag = fs.String("inputs", "", "comma-separated input words")
+		seed       = fs.Uint64("seed", 1, "scheduler seed for -run")
+		maxSteps   = fs.Int("max", 500000, "step bound")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: minic [flags] prog.mc")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	mod, err := minic.Compile(fs.Arg(0), string(src))
+	if err != nil {
+		return err
+	}
+
+	var inputs []int64
+	if *inputsFlag != "" {
+		for _, p := range strings.Split(*inputsFlag, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(p), 0, 64)
+			if err != nil {
+				return fmt.Errorf("bad input %q: %w", p, err)
+			}
+			inputs = append(inputs, v)
+		}
+	}
+
+	switch {
+	case *execute:
+		m, err := interp.New(interp.Config{
+			Module: mod, Inputs: inputs, MaxSteps: *maxSteps,
+			Sched: sched.NewRandom(*seed),
+		})
+		if err != nil {
+			return err
+		}
+		res := m.Run()
+		for _, line := range res.Output {
+			fmt.Println(line)
+		}
+		fmt.Printf("-- exit=%d steps=%d stall=%s\n", res.ExitCode, res.Steps, res.Stall)
+		for _, f := range res.Faults {
+			fmt.Printf("FAULT: %v\n", f)
+		}
+		return nil
+
+	case *pipeline:
+		res, err := owl.Run(owl.Program{Module: mod, Inputs: inputs, MaxSteps: *maxSteps},
+			owl.Options{DetectRuns: 12})
+		if err != nil {
+			return err
+		}
+		fmt.Print(report.Summary(fs.Arg(0), res))
+		for id, findings := range res.FindingsByReport {
+			fmt.Printf("\nfor race %s:\n", id)
+			for _, f := range findings {
+				fmt.Print(report.Finding(f))
+			}
+		}
+		return nil
+
+	default:
+		text := mod.Format()
+		if *out == "" {
+			fmt.Print(text)
+			return nil
+		}
+		return os.WriteFile(*out, []byte(text), 0o644)
+	}
+}

@@ -1,0 +1,65 @@
+// Command owl-study reproduces the paper's quantitative study (§3):
+// per-attack exploitability, repetition counts, cross-function spread,
+// call-stack prefix property, race detectability, and report burial.
+//
+// Usage:
+//
+//	owl-study [-noise light|full] [-runs 100]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/conanalysis/owl/internal/report"
+	"github.com/conanalysis/owl/internal/study"
+	"github.com/conanalysis/owl/internal/workloads"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "owl-study:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("owl-study", flag.ContinueOnError)
+	var (
+		noise   = fs.String("noise", "light", "workload noise level: light or full")
+		maxRuns = fs.Int("runs", 100, "exploit campaign budget per attack")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	lvl := workloads.NoiseLight
+	if *noise == "full" {
+		lvl = workloads.NoiseFull
+	}
+	res, err := study.Run(study.Config{Noise: lvl, MaxRuns: *maxRuns})
+	if err != nil {
+		return err
+	}
+
+	rows := [][]string{{
+		"Workload", "Attack", "Consequence", "Exploited", "Reps",
+		"CrossFn", "StackPrefix", "RaceDetected", "BuriedAmong",
+	}}
+	for _, r := range res.Rows {
+		prefix := "n/a"
+		if r.PrefixChecked {
+			prefix = fmt.Sprintf("%v", r.PrefixStacks)
+		}
+		rows = append(rows, []string{
+			r.Workload, r.Spec.ID, r.Spec.Consequence.String(),
+			fmt.Sprintf("%v", r.Exploited), fmt.Sprintf("%d", r.Repetitions),
+			fmt.Sprintf("%v", r.CrossFunction), prefix,
+			fmt.Sprintf("%v", r.RaceDetected), fmt.Sprintf("%d", r.BuriedAmong),
+		})
+	}
+	fmt.Print(report.Table(rows))
+	fmt.Println()
+	fmt.Print(res.String())
+	return nil
+}

@@ -1,0 +1,162 @@
+// Command owl runs the OWL directed concurrency-attack detection pipeline
+// (detection → ad-hoc sync annotation → dynamic race verification →
+// static vulnerability analysis → dynamic vulnerability verification)
+// over one of the built-in workload models, or over a user-supplied .oir
+// program.
+//
+// Usage:
+//
+//	owl -workload libsafe [-recipe attack] [-noise light|full] [-v]
+//	owl -file prog.oir [-inputs 1,2,3] [-v]
+//	owl -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/conanalysis/owl/internal/ir"
+	"github.com/conanalysis/owl/internal/owl"
+	"github.com/conanalysis/owl/internal/report"
+	"github.com/conanalysis/owl/internal/workloads"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "owl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("owl", flag.ContinueOnError)
+	var (
+		workload   = fs.String("workload", "", "built-in workload to analyze (see -list)")
+		recipe     = fs.String("recipe", "", "input recipe (default: first attack recipe)")
+		file       = fs.String("file", "", ".oir program to analyze instead of a workload")
+		inputsFlag = fs.String("inputs", "", "comma-separated input words for -file")
+		noise      = fs.String("noise", "light", "workload noise level: light or full")
+		detectRuns = fs.Int("runs", 8, "seeded detection executions")
+		list       = fs.Bool("list", false, "list built-in workloads and exit")
+		verbose    = fs.Bool("v", false, "print per-report details")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, name := range workloads.Names() {
+			w := workloads.Get(name, workloads.NoiseLight)
+			fmt.Printf("%-10s %-28s attacks=%d recipes=%s\n",
+				name, w.RealName, len(w.Attacks), recipeNames(w))
+		}
+		return nil
+	}
+
+	prog, name, err := resolveProgram(*workload, *recipe, *file, *inputsFlag, *noise)
+	if err != nil {
+		return err
+	}
+
+	res, err := owl.Run(prog, owl.Options{DetectRuns: *detectRuns})
+	if err != nil {
+		return err
+	}
+
+	fmt.Print(report.Summary(name, res))
+	if !*verbose {
+		return nil
+	}
+	fmt.Println("\n== raw race reports ==")
+	for _, r := range res.Raw {
+		fmt.Println(report.Race(r))
+	}
+	fmt.Println("== adhoc synchronizations ==")
+	for _, s := range res.Syncs {
+		fmt.Println(" ", s)
+	}
+	fmt.Println("== verification hints ==")
+	for _, h := range res.Hints {
+		fmt.Println(report.Hint(h))
+	}
+	fmt.Println("== vulnerable input hints ==")
+	for id, findings := range res.FindingsByReport {
+		fmt.Printf("for race %s:\n", id)
+		for _, f := range findings {
+			fmt.Println(report.Finding(f))
+		}
+	}
+	fmt.Println("== dynamic vulnerability verification ==")
+	for _, o := range res.Outcomes {
+		fmt.Println(report.Outcome(o))
+	}
+	return nil
+}
+
+func recipeNames(w *workloads.Workload) string {
+	names := make([]string, len(w.Recipes))
+	for i, r := range w.Recipes {
+		names[i] = r.Name
+	}
+	return strings.Join(names, ",")
+}
+
+func resolveProgram(workload, recipe, file, inputsFlag, noise string) (owl.Program, string, error) {
+	if file != "" {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return owl.Program{}, "", err
+		}
+		mod, err := ir.Parse(file, string(src))
+		if err != nil {
+			return owl.Program{}, "", err
+		}
+		inputs, err := parseInputs(inputsFlag)
+		if err != nil {
+			return owl.Program{}, "", err
+		}
+		return owl.Program{Module: mod, Inputs: inputs, MaxSteps: 500000}, file, nil
+	}
+	if workload == "" {
+		return owl.Program{}, "", fmt.Errorf("need -workload or -file (use -list)")
+	}
+	lvl := workloads.NoiseLight
+	if noise == "full" {
+		lvl = workloads.NoiseFull
+	}
+	w := workloads.Get(workload, lvl)
+	if w == nil {
+		return owl.Program{}, "", fmt.Errorf("unknown workload %q (use -list)", workload)
+	}
+	if recipe == "" {
+		if len(w.Attacks) > 0 {
+			recipe = w.Attacks[0].InputRecipe
+		} else if len(w.Recipes) > 0 {
+			recipe = w.Recipes[0].Name
+		}
+	}
+	rec := w.Recipe(recipe)
+	name := fmt.Sprintf("%s/%s", w.Name, rec.Name)
+	return owl.Program{
+		Module: w.Module, Entry: w.Entry, Inputs: rec.Inputs, MaxSteps: w.MaxSteps,
+	}, name, nil
+}
+
+func parseInputs(s string) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad input %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,93 @@
+// minic-frontend shows the full Figure-3 flow starting from source code:
+// a C-like program (the bank-balance TOCTOU classic) is compiled by the
+// minic front end to OWL IR, and the pipeline reports the attack against
+// the original source lines. The bug: check_and_pay checks the balance,
+// then debits it after an input-controlled delay; a concurrent payment
+// double-spends and the account goes negative — and because the payout
+// path exec()s the shipping job, OWL flags a process-forking vulnerable
+// site controlled by the corrupted branch.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	conanalysis "github.com/conanalysis/owl"
+	"github.com/conanalysis/owl/internal/minic"
+)
+
+const src = `int balance = 100;
+int paid = 0;
+
+void check_and_pay(int amount) {
+    int b = balance;
+    if (b >= amount) {
+        io_delay(4);
+        balance = b - amount;
+        paid = paid + 1;
+        exec("/usr/bin/ship-order");
+    }
+}
+
+void customer(int amount) {
+    check_and_pay(amount);
+}
+
+void main() {
+    int t1 = spawn customer(80);
+    int t2 = spawn customer(80);
+    join(t1);
+    join(t2);
+    print(balance);
+    print(paid);
+}
+`
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "minic-frontend:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	mod, err := minic.Compile("bank.mc", src)
+	if err != nil {
+		return err
+	}
+
+	// Show the double spend happening at all: find a schedule where both
+	// customers pass the balance check.
+	for seed := uint64(1); seed <= 50; seed++ {
+		m, err := conanalysis.NewMachine(conanalysis.MachineConfig{
+			Module: mod, Sched: conanalysis.NewRandomScheduler(seed), MaxSteps: 100000,
+		})
+		if err != nil {
+			return err
+		}
+		res := m.Run()
+		if len(res.Output) == 2 && res.Output[1] == "2" {
+			fmt.Printf("double spend on seed %d: balance=%s, paid=%s (both orders shipped)\n",
+				seed, res.Output[0], res.Output[1])
+			break
+		}
+	}
+
+	// And OWL explaining it.
+	res, err := conanalysis.Run(conanalysis.Program{Module: mod, MaxSteps: 100000},
+		conanalysis.Options{DetectRuns: 16})
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(conanalysis.FormatSummary("bank.mc", res))
+	fmt.Println("\n-- findings against the minic source:")
+	for _, fs := range res.FindingsByReport {
+		for _, f := range fs {
+			if f.Site.IsCall() && f.Site.Callee().Name == "exec" {
+				fmt.Print(conanalysis.FormatFinding(f))
+			}
+		}
+	}
+	return nil
+}

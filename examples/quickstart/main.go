@@ -1,0 +1,55 @@
+// Quickstart: run OWL's full pipeline on the Libsafe model (the paper's
+// Figure 1 attack) and print what each stage produced — the raw races, the
+// racing-moment verification hints, the Figure-5-style vulnerable input
+// hint, and the dynamically confirmed attack.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	conanalysis "github.com/conanalysis/owl"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// The Libsafe model: a security library whose `dying` flag is read
+	// without a lock, letting an attacker bypass the stack-overflow check.
+	w := conanalysis.Workload("libsafe", conanalysis.NoiseLight)
+	rec := w.Recipe("attack") // long payload + widened dying->exit window
+
+	res, err := conanalysis.Run(conanalysis.Program{
+		Module:   w.Module,
+		Inputs:   rec.Inputs,
+		MaxSteps: w.MaxSteps,
+	}, conanalysis.Options{})
+	if err != nil {
+		return err
+	}
+
+	fmt.Print(conanalysis.FormatSummary("libsafe/attack", res))
+
+	fmt.Println("\n-- the vulnerable input hint OWL computed (compare paper Figure 5):")
+	for _, findings := range res.FindingsByReport {
+		for _, f := range findings {
+			if f.Site.IsCall() && f.Site.Callee().Name == "strcpy" {
+				fmt.Print(conanalysis.FormatFinding(f))
+			}
+		}
+	}
+
+	fmt.Println("\n-- and the exploit itself (the paper's exploit scripts):")
+	d := conanalysis.NewExploitDriver(w)
+	ex, err := d.Exploit(w.Attacks[0])
+	if err != nil {
+		return err
+	}
+	fmt.Println(ex)
+	return nil
+}

@@ -1,0 +1,59 @@
+// ssdb-uaf reproduces the paper's Figure 6 end to end: the previously
+// unknown SSDB-1.9.2 use-after-free (CVE-2016-1000324) in the binlog
+// cleaner's shutdown path. The workload races ~BinlogQueue against
+// log_clean_thread_func; OWL flags the db->Write function-pointer
+// dereference in del_range as a control-dependent pointer dereference and
+// the dynamic stages confirm the freed-memory access.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	conanalysis "github.com/conanalysis/owl"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ssdb-uaf:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	w := conanalysis.Workload("ssdb", conanalysis.NoiseLight)
+	spec := w.Attacks[0] // CVE-2016-1000324
+
+	fmt.Println("== triggering the use-after-free ==")
+	d := conanalysis.NewExploitDriver(w)
+	ex, err := d.Exploit(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Println(ex)
+	if ex.Fault != nil {
+		fmt.Println("witnessing fault:", ex.Fault)
+		fmt.Println(ex.Fault.Stack)
+	}
+
+	fmt.Println("\n== OWL pipeline ==")
+	rec := w.Recipe(spec.InputRecipe)
+	res, err := conanalysis.Run(conanalysis.Program{
+		Module: w.Module, Inputs: rec.Inputs, MaxSteps: w.MaxSteps,
+	}, conanalysis.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Print(conanalysis.FormatSummary("ssdb/attack", res))
+
+	fmt.Println("\n-- the Figure-6 site OWL flagged (db->Write in del_range):")
+	for _, findings := range res.FindingsByReport {
+		for _, f := range findings {
+			if f.Site.Fn.Name == "del_range" {
+				fmt.Print(conanalysis.FormatFinding(f))
+				return nil
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module github.com/conanalysis/owl
+
+go 1.22

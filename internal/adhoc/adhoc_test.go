@@ -1,0 +1,225 @@
+package adhoc
+
+import (
+	"testing"
+
+	"github.com/conanalysis/owl/internal/interp"
+	"github.com/conanalysis/owl/internal/ir"
+	"github.com/conanalysis/owl/internal/race"
+	"github.com/conanalysis/owl/internal/sched"
+)
+
+// adhocSrc is the canonical pattern: a worker busy-waits on @ready until
+// the main thread stores the constant 1.
+const adhocSrc = `
+global @ready = 0
+global @data = 0
+
+func @worker() {
+entry:
+  jmp wait
+wait:
+  %r = load @ready
+  %c = icmp ne %r, 0
+  br %c, go, wait
+go:
+  %d = load @data
+  call @print(%d)
+  ret 0
+}
+func @main() {
+entry:
+  %t = call @spawn(@worker)
+  store 42, @data
+  store 1, @ready
+  %r = call @join(%t)
+  ret 0
+}
+`
+
+// nonAdhocSrc races on a plain counter: the write is not a constant and
+// the read feeds no loop exit.
+const nonAdhocSrc = `
+global @count = 0
+
+func @worker() {
+entry:
+  %v = load @count
+  %v2 = add %v, 1
+  store %v2, @count
+  ret 0
+}
+func @main() {
+entry:
+  %t = call @spawn(@worker)
+  %v = load @count
+  %v2 = add %v, 1
+  store %v2, @count
+  %r = call @join(%t)
+  ret 0
+}
+`
+
+func detectRaces(t *testing.T, src string, seed uint64) []*race.Report {
+	t.Helper()
+	mod := ir.MustParse("adhoc_test.oir", src)
+	d := race.NewDetector()
+	m, err := interp.New(interp.Config{
+		Module: mod, Sched: sched.NewRandom(seed), Observers: []interp.Observer{d},
+		MaxSteps: 100000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run()
+	return d.Reports()
+}
+
+func TestRecognizesAdhocSync(t *testing.T) {
+	var reports []*race.Report
+	for seed := uint64(1); seed < 20 && len(reports) == 0; seed++ {
+		reports = detectRaces(t, adhocSrc, seed)
+	}
+	if len(reports) == 0 {
+		t.Fatal("no race reports produced for adhoc pattern under any seed")
+	}
+	syncs := NewDetector().Analyze(reports)
+	if len(syncs) == 0 {
+		t.Fatalf("adhoc sync not recognized; reports:\n%v", reports[0])
+	}
+	s := syncs[0]
+	if s.Var != "@ready" {
+		t.Errorf("sync var = %q, want @ready", s.Var)
+	}
+	if s.Write.Args[0].Kind != ir.OperandConst {
+		t.Errorf("flag write is not a constant store")
+	}
+	if s.ExitBr.Op != ir.OpBr {
+		t.Errorf("exit is not a branch")
+	}
+}
+
+func TestRejectsPlainRace(t *testing.T) {
+	var reports []*race.Report
+	for seed := uint64(1); seed < 30 && len(reports) == 0; seed++ {
+		reports = detectRaces(t, nonAdhocSrc, seed)
+	}
+	if len(reports) == 0 {
+		t.Skip("scheduler never produced the racy interleaving")
+	}
+	syncs := NewDetector().Analyze(reports)
+	if len(syncs) != 0 {
+		t.Errorf("plain counter race misclassified as adhoc sync: %v", syncs[0])
+	}
+}
+
+func TestRejectsConstantWriteOutsideLoopExit(t *testing.T) {
+	// The read is in a loop but never controls a loop exit: a sampling
+	// loop reading a flag only to print it.
+	src := `
+global @flag = 0
+
+func @worker() {
+entry:
+  jmp loop
+loop:
+  %i = phi [entry: 0], [loop: %i2]
+  %f = load @flag
+  call @print(%f)
+  %i2 = add %i, 1
+  %c = icmp lt %i2, 5
+  br %c, loop, done
+done:
+  ret 0
+}
+func @main() {
+entry:
+  %t = call @spawn(@worker)
+  store 1, @flag
+  %r = call @join(%t)
+  ret 0
+}
+`
+	var reports []*race.Report
+	for seed := uint64(1); seed < 30 && len(reports) == 0; seed++ {
+		reports = detectRaces(t, src, seed)
+	}
+	if len(reports) == 0 {
+		t.Skip("scheduler never produced the racy interleaving")
+	}
+	syncs := NewDetector().Analyze(reports)
+	if len(syncs) != 0 {
+		t.Errorf("sampling loop misclassified as adhoc sync: %v", syncs[0])
+	}
+}
+
+func TestAnnotateSuppressesOnReRun(t *testing.T) {
+	// Annotation is per instruction pair inside one module (the pipeline
+	// never reparses), so detection and re-run must share the module.
+	mod := ir.MustParse("adhoc_test.oir", adhocSrc)
+	detectOn := func(seed uint64, benign *race.Annotations) []*race.Report {
+		d := race.NewDetector()
+		d.Benign = benign
+		m, err := interp.New(interp.Config{
+			Module: mod, Sched: sched.NewRandom(seed), Observers: []interp.Observer{d},
+			MaxSteps: 100000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Run()
+		return d.Reports()
+	}
+
+	var reports []*race.Report
+	seedUsed := uint64(0)
+	for seed := uint64(1); seed < 20 && len(reports) == 0; seed++ {
+		reports = detectOn(seed, nil)
+		seedUsed = seed
+	}
+	if len(reports) == 0 {
+		t.Fatal("no reports")
+	}
+	syncs := NewDetector().Analyze(reports)
+	if len(syncs) == 0 {
+		t.Fatal("no syncs")
+	}
+	ann := Annotate(syncs, nil)
+	if ann.Len() != 1 {
+		t.Fatalf("annotations = %d entries, want 1", ann.Len())
+	}
+
+	// Re-run with the same seed and the annotations installed: the
+	// adhoc-sync report must disappear.
+	for _, r := range detectOn(seedUsed, ann) {
+		if r.AddrName == "@ready" {
+			t.Errorf("annotated sync still reported: %v", r)
+		}
+	}
+}
+
+func TestDeduplicatesByPairAndVariable(t *testing.T) {
+	// Dedup is per instruction pair within one module, so detection runs
+	// must share the module (the pipeline never reparses).
+	mod := ir.MustParse("adhoc_test.oir", adhocSrc)
+	var all []*race.Report
+	for seed := uint64(1); seed < 10; seed++ {
+		d := race.NewDetector()
+		m, err := interp.New(interp.Config{
+			Module: mod, Sched: sched.NewRandom(seed), Observers: []interp.Observer{d},
+			MaxSteps: 100000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Run()
+		all = append(all, d.Reports()...)
+	}
+	syncs := NewDetector().Analyze(all)
+	if len(syncs) > 1 {
+		t.Errorf("got %d syncs for one pair, want dedup to 1", len(syncs))
+	}
+	if n := UniqueVars(syncs); len(syncs) > 0 && n != 1 {
+		t.Errorf("unique vars = %d, want 1", n)
+	}
+}

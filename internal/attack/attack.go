@@ -1,0 +1,148 @@
+// Package attack provides the exploit drivers and consequence oracles for
+// the workload models — the counterpart of the paper's exploit scripts
+// ("we built scripts to successfully exploit 10 attacks"). A Driver runs a
+// workload repeatedly with a chosen input recipe and a varying schedule
+// seed until the attack's consequence is observed, reporting how many
+// repetitions were needed; the study's Finding III is that the right
+// subtle inputs get this below ~20 repetitions, while wrong inputs make it
+// rare or impossible.
+package attack
+
+import (
+	"fmt"
+
+	"github.com/conanalysis/owl/internal/interp"
+	"github.com/conanalysis/owl/internal/sched"
+	"github.com/conanalysis/owl/internal/workloads"
+)
+
+// Observed checks whether the given consequence occurred in a finished run.
+func Observed(kind workloads.Consequence, m *interp.Machine, res *interp.Result) bool {
+	switch kind {
+	case workloads.ConsequencePrivEscalation:
+		return res.UID == 0
+	case workloads.ConsequenceCodeInjection, workloads.ConsequenceBufferOverflow:
+		return hasFault(res, interp.FaultOOB)
+	case workloads.ConsequenceUseAfterFree:
+		return hasFault(res, interp.FaultUseAfterFree)
+	case workloads.ConsequenceDoubleFree:
+		return hasFault(res, interp.FaultDoubleFree)
+	case workloads.ConsequenceNullDeref:
+		return hasFault(res, interp.FaultNullFuncPtr) || hasFault(res, interp.FaultNilDeref)
+	case workloads.ConsequenceHTMLIntegrity:
+		return htmlCorrupted(m)
+	case workloads.ConsequenceDoS:
+		return balancerStarved(m)
+	default:
+		return false
+	}
+}
+
+func hasFault(res *interp.Result, kind interp.FaultKind) bool {
+	for _, f := range res.Faults {
+		if f.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// htmlCorrupted reports whether any .html file in the machine's file
+// system contains more than the single marker word the server wrote — the
+// Apache #25520 oracle: request-log bytes landing inside a user's HTML.
+func htmlCorrupted(m *interp.Machine) bool {
+	for _, name := range m.FS().Names() {
+		if len(name) < 5 || name[len(name)-5:] != ".html" {
+			continue
+		}
+		f := m.FS().Lookup(name)
+		if f != nil && len(f.Data) > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// balancerStarved is the Apache #46215 oracle: a worker whose busy counter
+// underflowed to a huge unsigned value receives no assignments while the
+// other worker serves everything.
+func balancerStarved(m *interp.Machine) bool {
+	busy0 := m.Mem().Peek(m.GlobalAddr("busy"))
+	served0 := m.Mem().Peek(m.GlobalAddr("served"))
+	served1 := m.Mem().Peek(m.GlobalAddr("served") + 1)
+	return uint64(busy0) > 1<<62 && served0 == 0 && served1 > 0
+}
+
+// Result reports one exploit campaign.
+type Result struct {
+	Spec workloads.AttackSpec
+	// Succeeded is true when the consequence was observed.
+	Succeeded bool
+	// Runs is the number of repetitions used (Table 4's "within 20
+	// repeated queries or loops").
+	Runs int
+	// Fault carries the witnessing fault when the consequence is a fault.
+	Fault *interp.Fault
+}
+
+func (r *Result) String() string {
+	if r.Succeeded {
+		return fmt.Sprintf("%s: exploited in %d repetition(s) [%s]",
+			r.Spec.ID, r.Runs, r.Spec.Consequence)
+	}
+	return fmt.Sprintf("%s: NOT exploited after %d repetitions", r.Spec.ID, r.Runs)
+}
+
+// Driver runs exploit campaigns against a workload.
+type Driver struct {
+	W *workloads.Workload
+	// MaxRuns bounds the campaign (default 100).
+	MaxRuns int
+	// SeedBase offsets schedule seeds so campaigns are reproducible but
+	// distinct (default 1).
+	SeedBase uint64
+}
+
+// NewDriver returns a driver for the workload.
+func NewDriver(w *workloads.Workload) *Driver {
+	return &Driver{W: w, MaxRuns: 100, SeedBase: 1}
+}
+
+// Exploit runs the attack's recipe until its consequence is observed.
+func (d *Driver) Exploit(spec workloads.AttackSpec) (*Result, error) {
+	return d.exploitWith(spec, d.W.Recipe(spec.InputRecipe).Inputs)
+}
+
+// ExploitWithRecipe runs the campaign under a different recipe (used to
+// show the wrong inputs fail — the paper's separate-inputs finding).
+func (d *Driver) ExploitWithRecipe(spec workloads.AttackSpec, recipe string) (*Result, error) {
+	return d.exploitWith(spec, d.W.Recipe(recipe).Inputs)
+}
+
+func (d *Driver) exploitWith(spec workloads.AttackSpec, inputs []int64) (*Result, error) {
+	maxRuns := d.MaxRuns
+	if maxRuns <= 0 {
+		maxRuns = 100
+	}
+	res := &Result{Spec: spec}
+	for i := 0; i < maxRuns; i++ {
+		res.Runs = i + 1
+		m, err := interp.New(interp.Config{
+			Module: d.W.Module, Entry: d.W.Entry, Inputs: inputs,
+			MaxSteps: d.W.MaxSteps, Sched: sched.NewRandom(d.SeedBase + uint64(i)),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("exploit %s: %w", spec.ID, err)
+		}
+		run := m.Run()
+		if Observed(spec.Consequence, m, run) {
+			res.Succeeded = true
+			for _, f := range run.Faults {
+				res.Fault = f
+				break
+			}
+			return res, nil
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,117 @@
+package audit
+
+import (
+	"testing"
+
+	"github.com/conanalysis/owl/internal/interp"
+	"github.com/conanalysis/owl/internal/owl"
+	"github.com/conanalysis/owl/internal/sched"
+	"github.com/conanalysis/owl/internal/vuln"
+	"github.com/conanalysis/owl/internal/workloads"
+)
+
+// buildScope runs the pipeline on the libsafe workload and builds a scope
+// from its findings.
+func buildScope(t *testing.T) (*workloads.Workload, *Scope, []int64) {
+	t.Helper()
+	w := workloads.Get("libsafe", workloads.NoiseLight)
+	rec := w.Recipe("attack")
+	res, err := owl.Run(owl.Program{
+		Module: w.Module, Inputs: rec.Inputs, MaxSteps: w.MaxSteps,
+	}, owl.Options{DisableVulnVerify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var findings []*vuln.Finding
+	for _, fs := range res.FindingsByReport {
+		findings = append(findings, fs...)
+	}
+	if len(findings) == 0 {
+		t.Fatal("no findings to scope")
+	}
+	return w, NewScope(findings), rec.Inputs
+}
+
+func runMonitored(t *testing.T, w *workloads.Workload, inputs []int64, mon *Monitor) {
+	t.Helper()
+	m, err := interp.New(interp.Config{
+		Module: w.Module, Inputs: inputs, MaxSteps: w.MaxSteps,
+		Sched: sched.NewRandom(3), Observers: []interp.Observer{mon},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run()
+}
+
+func TestScopedAuditReducesEvents(t *testing.T) {
+	w, scope, inputs := buildScope(t)
+
+	full := NewMonitor(nil)
+	full.KeepRecords = false
+	runMonitored(t, w, inputs, full)
+
+	scoped := NewMonitor(scope)
+	runMonitored(t, w, inputs, scoped)
+
+	if full.Audited != full.Seen {
+		t.Errorf("baseline monitor filtered events: %d/%d", full.Audited, full.Seen)
+	}
+	if scoped.Audited >= scoped.Seen {
+		t.Fatalf("scoped monitor audited everything (%d/%d)", scoped.Audited, scoped.Seen)
+	}
+	if scoped.Reduction() < 0.3 {
+		t.Errorf("reduction = %.2f, want >= 0.3 (scope: %v)", scoped.Reduction(), scope.Funcs())
+	}
+	t.Logf("%s", scoped)
+}
+
+func TestScopedAuditStillSeesTheAttackSite(t *testing.T) {
+	w, scope, inputs := buildScope(t)
+	// Hunt a seed where the bypassed strcpy executes; the scoped monitor
+	// must raise a site hit on it.
+	for seed := uint64(1); seed <= 40; seed++ {
+		mon := NewMonitor(scope)
+		m, err := interp.New(interp.Config{
+			Module: w.Module, Inputs: inputs, MaxSteps: w.MaxSteps,
+			Sched: sched.NewRandom(seed), Observers: []interp.Observer{mon},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := m.Run()
+		if len(res.Faults) > 0 { // the overflow fired on this schedule
+			if len(mon.SiteHits()) == 0 {
+				t.Fatalf("attack executed but the scoped audit missed the site")
+			}
+			return
+		}
+	}
+	t.Skip("no seed triggered the attack under monitoring")
+}
+
+func TestScopeCovers(t *testing.T) {
+	w, scope, _ := buildScope(t)
+	var inStackCheck, inNoise bool
+	for _, fn := range scope.Funcs() {
+		if fn == "stack_check" || fn == "libsafe_strcpy" {
+			inStackCheck = true
+		}
+		if fn == "nz_cnt_worker_0" {
+			inNoise = true
+		}
+	}
+	if !inStackCheck {
+		t.Errorf("scope %v misses the propagation path", scope.Funcs())
+	}
+	_ = inNoise // noise workers may appear if their races produced findings
+	if scope.Covers(nil) {
+		t.Error("nil instruction covered")
+	}
+	for _, in := range w.Module.Func("noise_wait").Instrs() {
+		if scope.Covers(in) {
+			t.Errorf("noise_wait should not be in scope")
+		}
+		break
+	}
+}

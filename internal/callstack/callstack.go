@@ -1,0 +1,95 @@
+// Package callstack models runtime call stacks and the prefix relations
+// OWL's study relies on: §3.2 of the paper observes that a concurrency
+// bug's call stack is usually a prefix of its vulnerability site's call
+// stack, which is what lets Algorithm 1 direct its traversal.
+package callstack
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/conanalysis/owl/internal/ir"
+)
+
+// Entry is one call-stack frame: the function plus the position of the
+// instruction currently executing (for the innermost frame) or the call
+// site (for outer frames).
+type Entry struct {
+	Fn  string
+	Pos ir.Pos
+}
+
+func (e Entry) String() string {
+	return fmt.Sprintf("%s (%s:%d)", e.Fn, e.Pos.File, e.Pos.Line)
+}
+
+// Stack is a call stack ordered from outermost (index 0) to innermost
+// (last index), matching how the paper prints stacks (Figure 4).
+type Stack []Entry
+
+// Clone returns a copy of the stack.
+func (s Stack) Clone() Stack {
+	return append(Stack(nil), s...)
+}
+
+// Innermost returns the top (deepest) frame, or a zero Entry when empty.
+func (s Stack) Innermost() Entry {
+	if len(s) == 0 {
+		return Entry{}
+	}
+	return s[len(s)-1]
+}
+
+// Funcs returns the function names from outermost to innermost.
+func (s Stack) Funcs() []string {
+	out := make([]string, len(s))
+	for i, e := range s {
+		out[i] = e.Fn
+	}
+	return out
+}
+
+// HasPrefix reports whether p's frames (by function name) form a prefix of
+// s when both are read from the outermost frame — the paper's "similar
+// call stack prefixes" pattern.
+func (s Stack) HasPrefix(p Stack) bool {
+	if len(p) > len(s) {
+		return false
+	}
+	for i := range p {
+		if s[i].Fn != p[i].Fn {
+			return false
+		}
+	}
+	return true
+}
+
+// SharedPrefixLen returns the number of leading frames (outermost-first)
+// whose function names agree between the two stacks.
+func (s Stack) SharedPrefixLen(o Stack) int {
+	n := 0
+	for n < len(s) && n < len(o) && s[n].Fn == o[n].Fn {
+		n++
+	}
+	return n
+}
+
+// LevelsAbove returns how many frames the vulnerability stack v sits above
+// the bug stack s beyond the shared prefix; the paper notes sites are
+// usually in callees (prefix) or "one or two levels up".
+func (s Stack) LevelsAbove(v Stack) int {
+	n := s.SharedPrefixLen(v)
+	return len(s) - n
+}
+
+func (s Stack) String() string {
+	if len(s) == 0 {
+		return "<empty stack>"
+	}
+	lines := make([]string, 0, len(s))
+	// Print innermost first, like a debugger backtrace and Figure 4.
+	for i := len(s) - 1; i >= 0; i-- {
+		lines = append(lines, s[i].String())
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,82 @@
+package eval
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/conanalysis/owl/internal/attack"
+	"github.com/conanalysis/owl/internal/study"
+	"github.com/conanalysis/owl/internal/workloads"
+)
+
+// BuildTablesParallel is BuildTables with the per-workload evaluations and
+// exploit campaigns fanned out over a bounded worker pool. Everything a
+// worker touches is freshly constructed (each workload gets its own module
+// and machines), so the workers share nothing; results are collected in
+// registry order to keep output deterministic.
+func BuildTablesParallel(cfg Config, workers int) (*Tables, error) {
+	cfg = cfg.withDefaults()
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	names := workloads.Names()
+	if workers > len(names) {
+		workers = len(names)
+	}
+
+	type slot struct {
+		pe  *ProgramEval
+		ex  []*attack.Result
+		err error
+	}
+	slots := make([]slot, len(names))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				// Each worker builds its own workload instance: modules
+				// and machines are not safe for concurrent use, and this
+				// way they never need to be.
+				wl := workloads.Get(names[i], cfg.Noise)
+				pe, err := EvalWorkload(wl, cfg)
+				if err != nil {
+					slots[i] = slot{err: fmt.Errorf("eval %s: %w", names[i], err)}
+					continue
+				}
+				ex, err := ExploitCampaign(wl, 100)
+				if err != nil {
+					slots[i] = slot{err: fmt.Errorf("exploit %s: %w", names[i], err)}
+					continue
+				}
+				slots[i] = slot{pe: pe, ex: ex}
+			}
+		}()
+	}
+	t := &Tables{Cfg: cfg, Exploits: make(map[string][]*attack.Result)}
+	start := time.Now()
+	for i := range names {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for i, s := range slots {
+		if s.err != nil {
+			return nil, s.err
+		}
+		t.Programs = append(t.Programs, s.pe)
+		t.Exploits[names[i]] = s.ex
+	}
+	st, err := study.Run(study.Config{Noise: cfg.Noise, DetectRuns: cfg.DetectRuns})
+	if err != nil {
+		return nil, err
+	}
+	t.Study = st
+	t.Elapsed = time.Since(start)
+	return t, nil
+}

@@ -1,0 +1,172 @@
+package inputsearch
+
+import (
+	"testing"
+
+	"github.com/conanalysis/owl/internal/callstack"
+	"github.com/conanalysis/owl/internal/ir"
+	"github.com/conanalysis/owl/internal/vuln"
+	"github.com/conanalysis/owl/internal/workloads"
+)
+
+// gatedSrc reaches its exec() site only when input0 > 40 and input1 == 7 —
+// a pure input-reachability problem (no race involved) that the search
+// must solve from the branch hints.
+const gatedSrc = `
+global @limit = 0
+
+func @main() {
+entry:
+  %a = call @input()
+  %b = call @input()
+  %l = load @limit
+  %c1 = icmp gt %a, 40
+  br %c1, stage2, out
+stage2:
+  %c2 = icmp eq %b, 7
+  br %c2, danger, out
+danger:
+  call @exec("/bin/sh")
+  ret 1
+out:
+  ret 0
+}
+`
+
+func gatedFinding(t *testing.T, mod *ir.Module) *vuln.Finding {
+	t.Helper()
+	var load *ir.Instr
+	for _, in := range mod.Func("main").Instrs() {
+		if in.Op == ir.OpLoad {
+			load = in
+		}
+	}
+	// Start Algorithm 1 from the input-derived value instead: use the
+	// first input call's result by analyzing from the load and relying on
+	// ctrl deps… simplest: build the finding manually from ground truth.
+	var site *ir.Instr
+	var branches []*ir.Instr
+	for _, in := range mod.Func("main").Instrs() {
+		if in.IsCall() && in.Callee().Kind == ir.OperandFunc && in.Callee().Name == "exec" {
+			site = in
+		}
+		if in.IsBranch() {
+			branches = append(branches, in)
+		}
+	}
+	if site == nil || load == nil {
+		t.Fatal("bad test module")
+	}
+	return &vuln.Finding{
+		Site: site, Kind: vuln.SiteFork, Dep: vuln.DepCtrl,
+		Branches: branches, Start: load,
+	}
+}
+
+func TestSearchFindsGatingInputs(t *testing.T) {
+	mod := ir.MustParse("gated.oir", gatedSrc)
+	s := &Searcher{
+		Module: mod,
+		Space:  Space{{Min: 0, Max: 100}, {Min: 0, Max: 20}},
+		Budget: 400,
+		Seeds:  1,
+	}
+	res, err := s.Search(gatedFinding(t, mod))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatalf("search failed: %s", res)
+	}
+	if res.Inputs[0] <= 40 || res.Inputs[1] != 7 {
+		t.Errorf("inputs %v do not satisfy the gates", res.Inputs)
+	}
+}
+
+func TestSearchReportsBestScoreOnFailure(t *testing.T) {
+	mod := ir.MustParse("gated.oir", gatedSrc)
+	s := &Searcher{
+		Module: mod,
+		// input1 can never be 7 in this space: unreachable.
+		Space:  Space{{Min: 0, Max: 100}, {Min: 8, Max: 20}},
+		Budget: 60,
+		Seeds:  1,
+	}
+	res, err := s.Search(gatedFinding(t, mod))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Fatal("unreachable site reported found")
+	}
+	if res.BestScore <= 0 {
+		t.Errorf("best score = %v, want partial progress via branch hints", res.BestScore)
+	}
+	if res.Evals != 60 {
+		t.Errorf("evals = %d, want full budget", res.Evals)
+	}
+}
+
+func TestSearchConcretizesLibsafeHint(t *testing.T) {
+	// End-to-end with a real pipeline finding: the Libsafe strcpy site is
+	// reached when the payload is long and the dying window is open.
+	w := workloads.Get("libsafe", workloads.NoiseLight)
+	var readIn *ir.Instr
+	for _, in := range w.Module.Func("stack_check").Instrs() {
+		if in.Op == ir.OpLoad && in.Args[0].Kind == ir.OperandGlobal && in.Args[0].Name == "dying" {
+			readIn = in
+		}
+	}
+	var callSC, callLS *ir.Instr
+	for _, in := range w.Module.Func("libsafe_strcpy").Instrs() {
+		if in.IsCall() && in.Callee().Name == "stack_check" {
+			callSC = in
+		}
+	}
+	for _, in := range w.Module.Func("victim").Instrs() {
+		if in.IsCall() && in.Callee().Name == "libsafe_strcpy" {
+			callLS = in
+		}
+	}
+	stack := callstack.Stack{
+		{Fn: "victim", Pos: callLS.Pos},
+		{Fn: "libsafe_strcpy", Pos: callSC.Pos},
+		{Fn: "stack_check", Pos: readIn.Pos},
+	}
+	var finding *vuln.Finding
+	for _, f := range vuln.NewAnalyzer(w.Module).Analyze(readIn, stack) {
+		if f.Site.IsCall() && f.Site.Callee().Kind == ir.OperandFunc && f.Site.Callee().Name == "strcpy" {
+			finding = f
+		}
+	}
+	if finding == nil {
+		t.Fatal("no strcpy finding")
+	}
+	s := &Searcher{
+		Module:   w.Module,
+		MaxSteps: w.MaxSteps,
+		Space:    Space{{Min: 0, Max: 30}, {Min: 0, Max: 40}, {Min: 0, Max: 10}},
+		Budget:   150,
+		Seeds:    4,
+	}
+	res, err := s.Search(finding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatalf("could not concretize the Libsafe hint: %s", res)
+	}
+	t.Logf("concretized: %s", res)
+}
+
+func TestSearchValidation(t *testing.T) {
+	s := &Searcher{}
+	if _, err := s.Search(&vuln.Finding{}); err == nil {
+		t.Error("want error for missing module")
+	}
+	mod := ir.MustParse("gated.oir", gatedSrc)
+	s = &Searcher{Module: mod}
+	if _, err := s.Search(nil); err == nil {
+		t.Error("want error for nil finding")
+	}
+}

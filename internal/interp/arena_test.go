@@ -1,0 +1,149 @@
+package interp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestArenaAllocLoadStore(t *testing.T) {
+	a := NewArena()
+	b := a.Alloc(4, BlockHeap, "blk", nil)
+	if b.Base == 0 {
+		t.Fatal("NULL base allocated")
+	}
+	if f := a.Store(b.Base+2, 42); f != nil {
+		t.Fatalf("store: %v", f)
+	}
+	v, f := a.Load(b.Base + 2)
+	if f != nil || v != 42 {
+		t.Fatalf("load = %d, %v", v, f)
+	}
+}
+
+func TestArenaGapsBetweenBlocks(t *testing.T) {
+	a := NewArena()
+	b1 := a.Alloc(2, BlockHeap, "b1", nil)
+	b2 := a.Alloc(2, BlockHeap, "b2", nil)
+	// One-word unaddressable gap: off-by-one overflow faults rather than
+	// silently landing in the next block.
+	if _, f := a.Load(b1.Base + 2); f == nil || f.Kind != FaultOOB {
+		t.Errorf("gap access fault = %v, want OOB", f)
+	}
+	if b2.Base != b1.Base+3 {
+		t.Errorf("b2 base = %d, want %d", b2.Base, b1.Base+3)
+	}
+}
+
+func TestArenaFaultTaxonomy(t *testing.T) {
+	a := NewArena()
+	b := a.Alloc(2, BlockHeap, "b", nil)
+	g := a.Alloc(1, BlockGlobal, "@g", nil)
+
+	if _, f := a.Load(0); f == nil || f.Kind != FaultNilDeref {
+		t.Errorf("NULL load = %v", f)
+	}
+	if f := a.Free(0, nil); f == nil || f.Kind != FaultNilDeref {
+		t.Errorf("free(NULL) = %v", f)
+	}
+	if f := a.Free(b.Base+1, nil); f == nil || f.Kind != FaultBadFree {
+		t.Errorf("interior free = %v", f)
+	}
+	if f := a.Free(g.Base, nil); f == nil || f.Kind != FaultBadFree {
+		t.Errorf("free of global = %v", f)
+	}
+	if f := a.Free(b.Base, nil); f != nil {
+		t.Errorf("valid free = %v", f)
+	}
+	if f := a.Free(b.Base, nil); f == nil || f.Kind != FaultDoubleFree {
+		t.Errorf("double free = %v", f)
+	}
+	if _, f := a.Load(b.Base); f == nil || f.Kind != FaultUseAfterFree {
+		t.Errorf("UAF load = %v", f)
+	}
+	if f := a.Store(b.Base, 1); f == nil || f.Kind != FaultUseAfterFree {
+		t.Errorf("UAF store = %v", f)
+	}
+}
+
+func TestArenaPeekPoke(t *testing.T) {
+	a := NewArena()
+	b := a.Alloc(2, BlockHeap, "b", nil)
+	if !a.Poke(b.Base, 9) {
+		t.Error("poke failed")
+	}
+	if a.Peek(b.Base) != 9 {
+		t.Error("peek mismatch")
+	}
+	if a.Poke(0xdeadbeef, 1) {
+		t.Error("poke of unmapped address succeeded")
+	}
+	if a.Peek(0xdeadbeef) != 0 {
+		t.Error("peek of unmapped address non-zero")
+	}
+	// Peek still reads freed blocks (stale values for UAF reports).
+	a.Free(b.Base, nil)
+	if a.Peek(b.Base) != 9 {
+		t.Error("peek lost stale value after free")
+	}
+}
+
+// Property: Find is exact — every address inside an allocated block maps
+// to that block, every gap address maps to nothing.
+func TestArenaFindProperty(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		a := NewArena()
+		var blocks []*MemBlock
+		for _, s := range sizes {
+			if len(blocks) >= 24 {
+				break
+			}
+			blocks = append(blocks, a.Alloc(int64(s%7)+1, BlockHeap, "b", nil))
+		}
+		for _, b := range blocks {
+			for off := int64(0); off < b.Size; off++ {
+				if a.Find(b.Base+off) != b {
+					return false
+				}
+			}
+			if got := a.Find(b.Base + b.Size); got == b {
+				return false // gap word must not resolve to the block
+			}
+			if a.Find(b.Base-1) == b {
+				return false
+			}
+		}
+		return a.Find(0) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Load after Store round-trips for arbitrary in-bounds offsets.
+func TestArenaStoreLoadProperty(t *testing.T) {
+	f := func(size uint8, off uint8, val int64) bool {
+		n := int64(size%16) + 1
+		a := NewArena()
+		b := a.Alloc(n, BlockHeap, "b", nil)
+		o := int64(off) % n
+		if fault := a.Store(b.Base+o, val); fault != nil {
+			return false
+		}
+		v, fault := a.Load(b.Base + o)
+		return fault == nil && v == val
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArenaNameForOffsets(t *testing.T) {
+	a := NewArena()
+	b := a.Alloc(4, BlockGlobal, "@buf", nil)
+	if got := a.NameFor(b.Base); got != "@buf" {
+		t.Errorf("base name = %q", got)
+	}
+	if got := a.NameFor(b.Base + 3); got != "@buf+3" {
+		t.Errorf("offset name = %q", got)
+	}
+}

@@ -1,0 +1,91 @@
+package interp
+
+import (
+	"testing"
+
+	"github.com/conanalysis/owl/internal/ir"
+)
+
+const spinBenchSrc = `
+global @x = 0
+func @main() {
+entry:
+  jmp head
+head:
+  %i = phi [entry: 0], [body: %i2]
+  %c = icmp lt %i, 1000000000
+  br %c, body, done
+body:
+  %v = load @x
+  %v2 = add %v, 1
+  store %v2, @x
+  %i2 = add %i, 1
+  jmp head
+done:
+  ret 0
+}
+`
+
+// BenchmarkStepThroughput measures raw interpreter speed (instructions per
+// second) on a tight load/store loop.
+func BenchmarkStepThroughput(b *testing.B) {
+	mod := ir.MustParse("bench.oir", spinBenchSrc)
+	m, err := New(Config{Module: mod, Sched: firstSched{}, MaxSteps: 1 << 62})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !m.Step() {
+			b.Fatal("machine stopped early")
+		}
+	}
+}
+
+const contendedBenchSrc = `
+global @x = 0
+func @worker() {
+entry:
+  jmp head
+head:
+  %i = phi [entry: 0], [body: %i2]
+  %c = icmp lt %i, 200
+  br %c, body, done
+body:
+  %v = load @x
+  %v2 = add %v, 1
+  store %v2, @x
+  %i2 = add %i, 1
+  jmp head
+done:
+  ret 0
+}
+func @main() {
+entry:
+  %t1 = call @spawn(@worker)
+  %t2 = call @spawn(@worker)
+  %t3 = call @spawn(@worker)
+  %t4 = call @spawn(@worker)
+  %r1 = call @join(%t1)
+  %r2 = call @join(%t2)
+  %r3 = call @join(%t3)
+  %r4 = call @join(%t4)
+  ret 0
+}
+`
+
+// BenchmarkContendedRun measures a full multithreaded run including spawn,
+// join, and scheduler churn.
+func BenchmarkContendedRun(b *testing.B) {
+	mod := ir.MustParse("bench.oir", contendedBenchSrc)
+	for i := 0; i < b.N; i++ {
+		m, err := New(Config{Module: mod, Sched: &rr{last: -1}, MaxSteps: 100000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := m.Run()
+		if res.MaxStepsHit {
+			b.Fatal("hit step bound")
+		}
+	}
+}

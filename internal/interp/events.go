@@ -1,0 +1,83 @@
+package interp
+
+import (
+	"fmt"
+
+	"github.com/conanalysis/owl/internal/callstack"
+	"github.com/conanalysis/owl/internal/ir"
+)
+
+// EventKind classifies runtime events delivered to observers (race
+// detectors, tracers, verifiers).
+type EventKind int
+
+// Event kinds. Read/Write are plain shared-memory accesses; Acquire and
+// Release are lock operations (and, after OWL's ad-hoc sync annotation,
+// also annotated loads/stores — the annotation happens in the detector,
+// not here); Spawn/Join create happens-before edges; Branch reports a
+// conditional branch outcome (consumed by the vulnerability verifier's
+// divergence analysis).
+const (
+	EvRead EventKind = iota + 1
+	EvWrite
+	EvAcquire
+	EvRelease
+	EvSpawn
+	EvJoin
+	EvAlloc
+	EvFree
+	EvBranch
+	EvCall
+	EvRet
+)
+
+var eventNames = map[EventKind]string{
+	EvRead: "read", EvWrite: "write", EvAcquire: "acquire",
+	EvRelease: "release", EvSpawn: "spawn", EvJoin: "join",
+	EvAlloc: "alloc", EvFree: "free", EvBranch: "branch",
+	EvCall: "call", EvRet: "ret",
+}
+
+func (k EventKind) String() string {
+	if s, ok := eventNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one runtime event.
+type Event struct {
+	Kind  EventKind
+	TID   ThreadID
+	Addr  int64 // accessed address / lock address
+	Val   int64 // value read or written; branch: 1=then 0=else
+	Aux   int64 // spawn/join: peer thread id; alloc: size
+	Instr *ir.Instr
+	// Stack is a fresh snapshot built for this event; observers may retain
+	// it without copying.
+	Stack callstack.Stack
+	Step  int
+}
+
+// IsAccess reports whether the event is a plain memory access.
+func (e Event) IsAccess() bool { return e.Kind == EvRead || e.Kind == EvWrite }
+
+func (e Event) String() string {
+	loc := "?"
+	if e.Instr != nil {
+		loc = e.Instr.Loc()
+	}
+	return fmt.Sprintf("[step %d] t%d %s addr=0x%x val=%d %s", e.Step, e.TID, e.Kind, e.Addr, e.Val, loc)
+}
+
+// Observer consumes runtime events. Observers run synchronously inside the
+// interpreter step, so they see a totally ordered event stream.
+type Observer interface {
+	OnEvent(m *Machine, e Event)
+}
+
+// ObserverFunc adapts a function to Observer.
+type ObserverFunc func(m *Machine, e Event)
+
+// OnEvent implements Observer.
+func (f ObserverFunc) OnEvent(m *Machine, e Event) { f(m, e) }

@@ -1,0 +1,115 @@
+package interp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FS is a minimal in-machine file system. It exists because two of the
+// paper's attack consequences are file-level: the Apache #25520 attack
+// corrupts a log file descriptor and makes HTTP request logs land inside a
+// user's HTML file (an HTML integrity violation), and the five
+// vulnerable-site types include file operations (access()/open()).
+type FS struct {
+	files map[string]*File
+	fds   []*fd
+}
+
+// File is one file: contents as words (one per byte) plus a permission bit.
+type File struct {
+	Name     string
+	Data     []int64
+	ReadOnly bool
+}
+
+type fd struct {
+	file   *File
+	closed bool
+}
+
+// NewFS returns an empty file system.
+func NewFS() *FS {
+	f := &FS{files: make(map[string]*File)}
+	// fd 0/1/2 reserved like POSIX so workload fds start at 3, making
+	// "small integer that is a valid fd" corruption scenarios realistic.
+	for i := 0; i < 3; i++ {
+		f.fds = append(f.fds, &fd{file: &File{Name: fmt.Sprintf("<std%d>", i)}})
+	}
+	return f
+}
+
+// Create makes (or truncates) a file and returns it.
+func (f *FS) Create(name string) *File {
+	file := &File{Name: name}
+	f.files[name] = file
+	return file
+}
+
+// Lookup returns the named file, or nil.
+func (f *FS) Lookup(name string) *File { return f.files[name] }
+
+// Names returns all file names, sorted.
+func (f *FS) Names() []string {
+	out := make([]string, 0, len(f.files))
+	for n := range f.files {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Open returns a descriptor for the named file, creating it if needed.
+func (f *FS) Open(name string) int64 {
+	file := f.files[name]
+	if file == nil {
+		file = f.Create(name)
+	}
+	f.fds = append(f.fds, &fd{file: file})
+	return int64(len(f.fds) - 1)
+}
+
+// Close closes a descriptor; returns false for bad fds.
+func (f *FS) Close(n int64) bool {
+	d := f.fd(n)
+	if d == nil || d.closed {
+		return false
+	}
+	d.closed = true
+	return true
+}
+
+func (f *FS) fd(n int64) *fd {
+	if n < 0 || n >= int64(len(f.fds)) {
+		return nil
+	}
+	return f.fds[n]
+}
+
+// FileForFD returns the file behind a descriptor, or nil.
+func (f *FS) FileForFD(n int64) *File {
+	d := f.fd(n)
+	if d == nil || d.closed {
+		return nil
+	}
+	return d.file
+}
+
+// Write appends words to the file behind fd. It returns the number of
+// words written (0 for bad fds — like POSIX write failing with EBADF).
+func (f *FS) Write(n int64, words []int64) int64 {
+	file := f.FileForFD(n)
+	if file == nil || file.ReadOnly {
+		return 0
+	}
+	file.Data = append(file.Data, words...)
+	return int64(len(words))
+}
+
+// Access reports (1/0) whether the named file exists — the TOCTOU-style
+// check the paper lists among the vulnerable site types.
+func (f *FS) Access(name string) int64 {
+	if f.files[name] != nil {
+		return 1
+	}
+	return 0
+}

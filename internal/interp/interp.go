@@ -1,0 +1,865 @@
+// Package interp executes OWL IR deterministically. Threads are explicit
+// state machines; a pluggable scheduler chooses which thread executes the
+// next instruction, so a recorded schedule replays exactly — the property
+// that OWL's dynamic race verifier (§5.2) and vulnerability verifier
+// (§6.2) rely on, standing in for LLDB's thread-specific breakpoints on
+// native code.
+//
+// Memory is a bounds- and lifetime-checked arena (see Arena) so that the
+// consequences the paper's attacks produce — buffer overflows, NULL
+// pointer and NULL function-pointer dereferences, use-after-free, double
+// free — surface as typed faults the attack oracles can observe.
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/conanalysis/owl/internal/ir"
+)
+
+// Scheduler picks the next thread to run. Implementations live in
+// internal/sched; the interface is defined here so the machine does not
+// depend on concrete strategies.
+type Scheduler interface {
+	// Next returns one element of runnable (which is non-empty and sorted
+	// ascending). step is the machine's global step counter.
+	Next(runnable []ThreadID, step int) ThreadID
+}
+
+// BPAction is a breakpoint handler's decision.
+type BPAction int
+
+// Breakpoint actions.
+const (
+	BPContinue BPAction = iota + 1
+	BPSuspend
+)
+
+// BreakpointFunc inspects the instruction a thread is about to execute and
+// may suspend just that thread ("thread-specific breakpoints", §5.2).
+type BreakpointFunc func(m *Machine, t *Thread, in *ir.Instr) BPAction
+
+// Config configures a machine run.
+type Config struct {
+	Module *ir.Module
+	// Entry is the entry function name (default "main").
+	Entry string
+	// Args are passed to the entry function's parameters.
+	Args []int64
+	// Inputs is the program-input tape consumed by the input() intrinsic;
+	// this is how OWL's "subtle program inputs" reach a workload.
+	Inputs []int64
+	Sched  Scheduler
+	// MaxSteps bounds execution (default 1_000_000).
+	MaxSteps  int
+	Observers []Observer
+	// Breakpoint, when set, is consulted before each instruction.
+	Breakpoint BreakpointFunc
+	// HaltOnFault stops the whole machine at the first fault (default:
+	// only the faulting thread halts, as with a per-thread crash handler).
+	HaltOnFault bool
+}
+
+// StallReason says why Step could make no progress.
+type StallReason int
+
+// Stall reasons.
+const (
+	StallNone      StallReason = iota // machine progressed or finished
+	StallDone                         // all threads done/faulted
+	StallDeadlock                     // live threads, all blocked on sync
+	StallSuspended                    // progress blocked only by suspended threads
+)
+
+func (s StallReason) String() string {
+	switch s {
+	case StallNone:
+		return "none"
+	case StallDone:
+		return "done"
+	case StallDeadlock:
+		return "deadlock"
+	case StallSuspended:
+		return "suspended"
+	default:
+		return fmt.Sprintf("StallReason(%d)", int(s))
+	}
+}
+
+// Result summarizes a run.
+type Result struct {
+	ExitCode int
+	Steps    int
+	Faults   []*Fault
+	Output   []string
+	// Schedule is the sequence of thread choices taken; replaying it with
+	// sched.NewReplay reproduces the run exactly.
+	Schedule []ThreadID
+	// Stall records why the run ended.
+	Stall StallReason
+	// UID is the process uid at end of run (0 = root); attack oracles use
+	// it to detect privilege escalation.
+	UID int64
+	// MaxStepsHit reports the run was truncated.
+	MaxStepsHit bool
+}
+
+// ErrNoScheduler is returned by New when cfg.Sched is nil.
+var ErrNoScheduler = errors.New("interp: config has no scheduler")
+
+const funcRefBase = int64(1) << 40
+
+// Machine executes one program instance.
+type Machine struct {
+	cfg  Config
+	mod  *ir.Module
+	mem  *Arena
+	fs   *FS
+	step int
+
+	threads     []*Thread
+	live        []*Thread // threads not yet done/faulted (lazily compacted)
+	trace       []ThreadID
+	runnableBuf []ThreadID
+
+	globals map[string]int64 // global name -> base address
+	funcIDs map[string]int64 // function name -> func ref value
+	funcs   []*ir.Func       // index -> function
+	interns map[string]int64 // string literal -> address
+
+	mutexOwner     map[int64]ThreadID
+	intrinsicByRef map[int64]string // synthetic func-ref id -> intrinsic name
+
+	inputPos  int
+	uid       int64
+	output    []string
+	faults    []*Fault
+	execLog   []string
+	forkCount int
+	exited    bool
+	exitCode  int
+
+	rngState uint64 // deterministic per-machine PRNG for rand intrinsic
+	hasObs   bool   // skip event construction entirely when nobody listens
+}
+
+// New builds a machine for the given configuration. The module must be
+// frozen.
+func New(cfg Config) (*Machine, error) {
+	if cfg.Module == nil || !cfg.Module.Frozen() {
+		return nil, errors.New("interp: module missing or not frozen")
+	}
+	if cfg.Sched == nil {
+		return nil, ErrNoScheduler
+	}
+	if cfg.Entry == "" {
+		cfg.Entry = "main"
+	}
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = 1_000_000
+	}
+	entry := cfg.Module.Func(cfg.Entry)
+	if entry == nil {
+		return nil, fmt.Errorf("interp: entry function @%s not found", cfg.Entry)
+	}
+	m := &Machine{
+		cfg:        cfg,
+		mod:        cfg.Module,
+		mem:        NewArena(),
+		fs:         NewFS(),
+		globals:    make(map[string]int64),
+		funcIDs:    make(map[string]int64),
+		interns:    make(map[string]int64),
+		mutexOwner: make(map[int64]ThreadID),
+		hasObs:     len(cfg.Observers) > 0,
+		uid:        1000, // unprivileged by default; setuid(0) is the attack
+		rngState:   0x9e3779b97f4a7c15,
+	}
+	for _, g := range cfg.Module.Globals {
+		b := m.mem.Alloc(int64(g.Size), BlockGlobal, "@"+g.Name, nil)
+		if len(g.InitWords) > 0 {
+			copy(b.Words, g.InitWords)
+		} else {
+			b.Words[0] = g.Init
+		}
+		m.globals[g.Name] = b.Base
+	}
+	for i, f := range cfg.Module.Funcs {
+		m.funcIDs[f.Name] = funcRefBase + int64(i)
+		m.funcs = append(m.funcs, f)
+	}
+	main := m.newThread(entry, cfg.Args, nil)
+	_ = main
+	return m, nil
+}
+
+// Mod returns the module under execution.
+func (m *Machine) Mod() *ir.Module { return m.mod }
+
+// Mem returns the machine's arena (verifier/oracle introspection).
+func (m *Machine) Mem() *Arena { return m.mem }
+
+// FS returns the machine's file system model.
+func (m *Machine) FS() *FS { return m.fs }
+
+// UID returns the current process uid.
+func (m *Machine) UID() int64 { return m.uid }
+
+// StepCount returns the number of executed steps so far.
+func (m *Machine) StepCount() int { return m.step }
+
+// Output returns the lines printed so far.
+func (m *Machine) Output() []string { return m.output }
+
+// Faults returns the faults recorded so far.
+func (m *Machine) Faults() []*Fault { return m.faults }
+
+// Threads returns the machine's threads (do not mutate).
+func (m *Machine) Threads() []*Thread { return m.threads }
+
+// Thread returns the thread with the given id, or nil.
+func (m *Machine) Thread(id ThreadID) *Thread {
+	if int(id) < 0 || int(id) >= len(m.threads) {
+		return nil
+	}
+	return m.threads[id]
+}
+
+// GlobalAddr returns the address of a global, or 0.
+func (m *Machine) GlobalAddr(name string) int64 { return m.globals[name] }
+
+// FuncForRef resolves a function-reference value, or nil.
+func (m *Machine) FuncForRef(v int64) *ir.Func {
+	idx := v - funcRefBase
+	if idx < 0 || idx >= int64(len(m.funcs)) {
+		return nil
+	}
+	return m.funcs[idx]
+}
+
+// FuncRef returns the function-reference value for a named module function
+// (0 if absent) — used by tests and workload setup.
+func (m *Machine) FuncRef(name string) int64 { return m.funcIDs[name] }
+
+func (m *Machine) newThread(fn *ir.Func, args []int64, spawn *ir.Instr) *Thread {
+	fr := &Frame{Fn: fn, Block: fn.Entry(), Regs: make(map[string]int64, 8)}
+	for i, p := range fn.Params {
+		if i < len(args) {
+			fr.Regs[p] = args[i]
+		} else {
+			fr.Regs[p] = 0
+		}
+	}
+	t := &Thread{ID: ThreadID(len(m.threads)), Status: StatusRunnable,
+		Frames: []*Frame{fr}, SpawnInstr: spawn}
+	m.threads = append(m.threads, t)
+	m.live = append(m.live, t)
+	m.enterBlock(t, fn.Entry(), "")
+	return t
+}
+
+// enterBlock transfers control to blk, evaluating its leading phi nodes
+// atomically (all reads against the pre-transfer register state).
+func (m *Machine) enterBlock(t *Thread, blk *ir.Block, from string) {
+	fr := t.Top()
+	fr.PrevBlock = from
+	fr.Block = blk
+	fr.PC = 0
+	// Evaluate leading phis against a snapshot.
+	var updates []struct {
+		dst string
+		val int64
+	}
+	for _, in := range blk.Instrs {
+		if in.Op != ir.OpPhi {
+			break
+		}
+		v := int64(0)
+		found := false
+		for _, pe := range in.Phis {
+			if pe.Block == from {
+				v, _ = m.eval(t, pe.Val)
+				found = true
+				break
+			}
+		}
+		if !found && from != "" {
+			// No matching edge: LLVM would call this malformed; we use 0.
+			v = 0
+		}
+		updates = append(updates, struct {
+			dst string
+			val int64
+		}{in.Dst, v})
+		fr.PC++
+	}
+	for _, u := range updates {
+		fr.Regs[u.dst] = u.val
+	}
+}
+
+func (m *Machine) emit(e Event) {
+	e.Step = m.step
+	for _, o := range m.cfg.Observers {
+		o.OnEvent(m, e)
+	}
+}
+
+func (m *Machine) fault(t *Thread, in *ir.Instr, f *Fault) {
+	f.TID = t.ID
+	f.Instr = in
+	f.Stack = t.Stack()
+	f.Step = m.step
+	m.faults = append(m.faults, f)
+	t.Status = StatusFaulted
+	m.wakeJoiners(t)
+	if m.cfg.HaltOnFault {
+		m.exited = true
+		m.exitCode = 139
+	}
+}
+
+// eval evaluates a non-label operand in the thread's top frame.
+func (m *Machine) eval(t *Thread, o ir.Operand) (int64, *Fault) {
+	switch o.Kind {
+	case ir.OperandConst:
+		return o.Imm, nil
+	case ir.OperandReg:
+		return t.Top().Regs[o.Name], nil
+	case ir.OperandGlobal:
+		if a, ok := m.globals[o.Name]; ok {
+			return a, nil
+		}
+		// "@name" in an argument position may also denote a function
+		// reference (e.g. call @spawn(@worker)): resolve like OperandFunc.
+		return m.eval(t, ir.FuncOp(o.Name))
+	case ir.OperandFunc:
+		if v, ok := m.funcIDs[o.Name]; ok {
+			return v, nil
+		}
+		// Intrinsic reference: give it a synthetic id above all module
+		// functions so indirect calls to intrinsics also work.
+		if isIntrinsic(o.Name) {
+			id := funcRefBase + int64(len(m.funcs))
+			m.funcs = append(m.funcs, nil) // placeholder
+			m.funcIDs[o.Name] = id
+			m.intrinsicRefs(id, o.Name)
+			return id, nil
+		}
+		return 0, &Fault{Kind: FaultUnknownIntrinsic, Msg: "@" + o.Name}
+	case ir.OperandString:
+		return m.intern(o.Str), nil
+	default:
+		return 0, &Fault{Kind: FaultBadCall, Msg: fmt.Sprintf("cannot evaluate operand %s", o)}
+	}
+}
+
+func (m *Machine) intrinsicRefs(id int64, name string) {
+	if m.intrinsicByRef == nil {
+		m.intrinsicByRef = make(map[int64]string)
+	}
+	m.intrinsicByRef[id] = name
+}
+
+// intern returns the address of a global block holding the string.
+func (m *Machine) intern(s string) int64 {
+	if a, ok := m.interns[s]; ok {
+		return a
+	}
+	words := ir.StringToWords(s)
+	b := m.mem.Alloc(int64(len(words)), BlockGlobal, fmt.Sprintf("str%q", s), nil)
+	copy(b.Words, words)
+	m.interns[s] = b.Base
+	return b.Base
+}
+
+// runnableIDs returns the ids of threads the scheduler may pick, ascending
+// (m.threads is already ID-ordered). The returned slice is a reused buffer
+// valid until the next call.
+func (m *Machine) runnableIDs() []ThreadID {
+	ids := m.runnableBuf[:0]
+	live := m.live[:0]
+	for _, t := range m.live {
+		switch t.Status {
+		case StatusDone, StatusFaulted:
+			continue // drop from the live list
+		}
+		live = append(live, t)
+		if t.Runnable(m.step) {
+			ids = append(ids, t.ID)
+		}
+	}
+	m.live = live
+	m.runnableBuf = ids
+	return ids
+}
+
+// LastScheduled returns the id of the thread that executed the most recent
+// step, if any.
+func (m *Machine) LastScheduled() (ThreadID, bool) {
+	if len(m.trace) == 0 {
+		return 0, false
+	}
+	return m.trace[len(m.trace)-1], true
+}
+
+// Stall reports the current stall state without executing anything.
+func (m *Machine) Stall() StallReason {
+	if m.exited {
+		return StallDone
+	}
+	if len(m.runnableIDs()) > 0 {
+		return StallNone
+	}
+	anyLive, anySuspended := false, false
+	for _, t := range m.threads {
+		switch t.Status {
+		case StatusDone, StatusFaulted:
+			continue
+		}
+		if t.Status == StatusSleeping && !t.Suspended {
+			return StallNone // clock can still advance
+		}
+		anyLive = true
+		if t.Suspended {
+			anySuspended = true
+		}
+	}
+	switch {
+	case !anyLive:
+		return StallDone
+	case anySuspended:
+		return StallSuspended
+	default:
+		return StallDeadlock
+	}
+}
+
+// Step executes one instruction (or suspends a thread at a breakpoint).
+// It returns false when no thread is runnable; call Stall for the reason.
+func (m *Machine) Step() bool {
+	if m.exited || m.step >= m.cfg.MaxSteps {
+		return false
+	}
+	runnable := m.runnableIDs()
+	if len(runnable) == 0 {
+		// If every live thread is merely sleeping (io_delay), advance the
+		// clock to the earliest wake-up instead of declaring a stall.
+		wake := -1
+		for _, t := range m.threads {
+			if t.Status == StatusSleeping && !t.Suspended {
+				if wake < 0 || t.SleepUntil < wake {
+					wake = t.SleepUntil
+				}
+			}
+		}
+		if wake < 0 || wake > m.cfg.MaxSteps {
+			return false
+		}
+		m.step = wake
+		runnable = m.runnableIDs()
+		if len(runnable) == 0 {
+			return false
+		}
+	}
+	tid := m.cfg.Sched.Next(runnable, m.step)
+	t := m.Thread(tid)
+	if t == nil || !t.Runnable(m.step) {
+		// Defensive: a misbehaving scheduler choice falls back to the
+		// first runnable thread to preserve determinism.
+		t = m.Thread(runnable[0])
+	}
+	if t.Status == StatusSleeping {
+		t.Status = StatusRunnable
+	}
+	m.trace = append(m.trace, t.ID)
+	in := t.Cur()
+	if in == nil {
+		m.fault(t, nil, &Fault{Kind: FaultBadCall, Msg: "fell off end of block"})
+		return true
+	}
+	if m.cfg.Breakpoint != nil {
+		if m.cfg.Breakpoint(m, t, in) == BPSuspend {
+			t.Suspended = true
+			// The suspension consumed the scheduling slot but not the
+			// instruction; undo the trace entry so replays stay aligned
+			// with executed instructions.
+			m.trace = m.trace[:len(m.trace)-1]
+			return true
+		}
+	}
+	m.exec(t, in)
+	m.step++
+	return true
+}
+
+// Run steps the machine until completion, deadlock, fault-halt, or the
+// step bound, and returns the result.
+func (m *Machine) Run() *Result {
+	for m.Step() {
+	}
+	return m.Result()
+}
+
+// Result snapshots the run outcome so far.
+func (m *Machine) Result() *Result {
+	r := &Result{
+		ExitCode:    m.exitCode,
+		Steps:       m.step,
+		Faults:      append([]*Fault(nil), m.faults...),
+		Output:      append([]string(nil), m.output...),
+		Schedule:    append([]ThreadID(nil), m.trace...),
+		UID:         m.uid,
+		Stall:       m.Stall(),
+		MaxStepsHit: m.step >= m.cfg.MaxSteps,
+	}
+	return r
+}
+
+// Resume clears the suspension flag of a thread (breakpoint release).
+func (m *Machine) Resume(tid ThreadID) {
+	if t := m.Thread(tid); t != nil {
+		t.Suspended = false
+	}
+}
+
+// Suspend suspends a thread (verifier control).
+func (m *Machine) Suspend(tid ThreadID) {
+	if t := m.Thread(tid); t != nil {
+		t.Suspended = true
+	}
+}
+
+// PendingAccess describes the memory access a thread is about to perform.
+type PendingAccess struct {
+	IsWrite bool
+	Addr    int64
+	// Val is the value about to be written (writes) or currently in
+	// memory (reads) — the "value they're about to read and write"
+	// security hint from §5.2.
+	Val   int64
+	Instr *ir.Instr
+}
+
+// Pending returns the access the thread's next instruction would perform,
+// if that instruction is a plain load or store.
+func (m *Machine) Pending(tid ThreadID) (PendingAccess, bool) {
+	t := m.Thread(tid)
+	if t == nil {
+		return PendingAccess{}, false
+	}
+	in := t.Cur()
+	if in == nil {
+		return PendingAccess{}, false
+	}
+	switch in.Op {
+	case ir.OpLoad:
+		addr, f := m.eval(t, in.Args[0])
+		if f != nil {
+			return PendingAccess{}, false
+		}
+		return PendingAccess{Addr: addr, Val: m.mem.Peek(addr), Instr: in}, true
+	case ir.OpStore:
+		val, f1 := m.eval(t, in.Args[0])
+		addr, f2 := m.eval(t, in.Args[1])
+		if f1 != nil || f2 != nil {
+			return PendingAccess{}, false
+		}
+		return PendingAccess{IsWrite: true, Addr: addr, Val: val, Instr: in}, true
+	default:
+		return PendingAccess{}, false
+	}
+}
+
+func (m *Machine) exec(t *Thread, in *ir.Instr) {
+	fr := t.Top()
+	advance := func() { fr.PC++ }
+
+	switch in.Op {
+	case ir.OpConst:
+		fr.Regs[in.Dst] = in.Args[0].Imm
+		advance()
+
+	case ir.OpLoad:
+		addr, f := m.eval(t, in.Args[0])
+		if f == nil {
+			var v int64
+			v, f = m.mem.Load(addr)
+			if f == nil {
+				fr.Regs[in.Dst] = v
+				if m.hasObs {
+					m.emit(Event{Kind: EvRead, TID: t.ID, Addr: addr, Val: v, Instr: in, Stack: t.Stack()})
+				}
+				advance()
+				return
+			}
+			f.Addr = addr
+		}
+		m.fault(t, in, f)
+
+	case ir.OpStore:
+		val, f := m.eval(t, in.Args[0])
+		if f == nil {
+			var addr int64
+			addr, f = m.eval(t, in.Args[1])
+			if f == nil {
+				if f = m.mem.Store(addr, val); f == nil {
+					if m.hasObs {
+						m.emit(Event{Kind: EvWrite, TID: t.ID, Addr: addr, Val: val, Instr: in, Stack: t.Stack()})
+					}
+					advance()
+					return
+				}
+				f.Addr = addr
+			}
+		}
+		m.fault(t, in, f)
+
+	case ir.OpBin:
+		a, f := m.eval(t, in.Args[0])
+		if f != nil {
+			m.fault(t, in, f)
+			return
+		}
+		b, f := m.eval(t, in.Args[1])
+		if f != nil {
+			m.fault(t, in, f)
+			return
+		}
+		v, f := binOp(in.Bin, a, b)
+		if f != nil {
+			m.fault(t, in, f)
+			return
+		}
+		fr.Regs[in.Dst] = v
+		advance()
+
+	case ir.OpCmp:
+		a, _ := m.eval(t, in.Args[0])
+		b, _ := m.eval(t, in.Args[1])
+		if cmpOp(in.Pred, a, b) {
+			fr.Regs[in.Dst] = 1
+		} else {
+			fr.Regs[in.Dst] = 0
+		}
+		advance()
+
+	case ir.OpBr:
+		c, _ := m.eval(t, in.Args[0])
+		taken := c != 0
+		if m.hasObs {
+			m.emit(Event{Kind: EvBranch, TID: t.ID, Val: boolToInt(taken), Instr: in, Stack: t.Stack()})
+		}
+		target := in.Args[2].Name
+		if taken {
+			target = in.Args[1].Name
+		}
+		m.enterBlock(t, fr.Fn.Block(target), fr.Block.Name)
+
+	case ir.OpJmp:
+		m.enterBlock(t, fr.Fn.Block(in.Args[0].Name), fr.Block.Name)
+
+	case ir.OpPhi:
+		// Phis are consumed by enterBlock; reaching one here means control
+		// entered mid-block, which the verifier prevents.
+		m.fault(t, in, &Fault{Kind: FaultBadCall, Msg: "phi executed outside block entry"})
+
+	case ir.OpRet:
+		var v int64
+		if len(in.Args) == 1 {
+			v, _ = m.eval(t, in.Args[0])
+		}
+		m.ret(t, v)
+
+	case ir.OpAlloca:
+		n, _ := m.eval(t, in.Args[0])
+		b := m.mem.Alloc(n, BlockStack, fmt.Sprintf("alloca@%s:%d", fr.Fn.Name, in.Pos.Line), t.Stack())
+		fr.Allocas = append(fr.Allocas, b)
+		fr.Regs[in.Dst] = b.Base
+		if m.hasObs {
+			m.emit(Event{Kind: EvAlloc, TID: t.ID, Addr: b.Base, Aux: n, Instr: in, Stack: t.Stack()})
+		}
+		advance()
+
+	case ir.OpGep:
+		base, f := m.eval(t, in.Args[0])
+		if f != nil {
+			m.fault(t, in, f)
+			return
+		}
+		off, _ := m.eval(t, in.Args[1])
+		fr.Regs[in.Dst] = base + off
+		advance()
+
+	case ir.OpAddrOf:
+		fr.Regs[in.Dst] = m.globals[in.Args[0].Name]
+		advance()
+
+	case ir.OpFunc:
+		v, f := m.eval(t, in.Args[0])
+		if f != nil {
+			m.fault(t, in, f)
+			return
+		}
+		fr.Regs[in.Dst] = v
+		advance()
+
+	case ir.OpCall:
+		m.execCall(t, in)
+
+	default:
+		m.fault(t, in, &Fault{Kind: FaultBadCall, Msg: fmt.Sprintf("unknown op %s", in.Op)})
+	}
+}
+
+// ret pops the thread's top frame, delivering v to the caller.
+func (m *Machine) ret(t *Thread, v int64) {
+	fr := t.Top()
+	for _, b := range fr.Allocas {
+		b.Freed = true
+		b.FreeStack = t.Stack()
+	}
+	t.Frames = t.Frames[:len(t.Frames)-1]
+	if len(t.Frames) == 0 {
+		t.Status = StatusDone
+		t.Result = v
+		m.wakeJoiners(t)
+		return
+	}
+	caller := t.Top()
+	if ci := fr.CallInstr; ci != nil && ci.Dst != "" {
+		caller.Regs[ci.Dst] = v
+	}
+	caller.PC++
+}
+
+func (m *Machine) wakeJoiners(done *Thread) {
+	for _, t := range m.threads {
+		if t.Status == StatusBlockedJoin && t.JoinTarget == done.ID {
+			t.Status = StatusRunnable
+		}
+	}
+}
+
+func (m *Machine) execCall(t *Thread, in *ir.Instr) {
+	callee := in.Callee()
+	switch callee.Kind {
+	case ir.OperandFunc:
+		if fn := m.mod.Func(callee.Name); fn != nil {
+			m.callFunc(t, in, fn)
+			return
+		}
+		m.callIntrinsic(t, in, callee.Name)
+	case ir.OperandReg:
+		v := t.Top().Regs[callee.Name]
+		if v == 0 {
+			m.fault(t, in, &Fault{Kind: FaultNullFuncPtr, Addr: 0,
+				Msg: fmt.Sprintf("indirect call through %%%s == NULL", callee.Name)})
+			return
+		}
+		if name, ok := m.intrinsicByRef[v]; ok {
+			m.callIntrinsic(t, in, name)
+			return
+		}
+		fn := m.FuncForRef(v)
+		if fn == nil {
+			m.fault(t, in, &Fault{Kind: FaultBadCall, Addr: v,
+				Msg: fmt.Sprintf("indirect call through %%%s = %d is not a function", callee.Name, v)})
+			return
+		}
+		m.callFunc(t, in, fn)
+	default:
+		m.fault(t, in, &Fault{Kind: FaultBadCall, Msg: "bad callee operand"})
+	}
+}
+
+func (m *Machine) callFunc(t *Thread, in *ir.Instr, fn *ir.Func) {
+	args := make([]int64, 0, len(in.CallArgs()))
+	for _, a := range in.CallArgs() {
+		v, f := m.eval(t, a)
+		if f != nil {
+			m.fault(t, in, f)
+			return
+		}
+		args = append(args, v)
+	}
+	if m.hasObs {
+		m.emit(Event{Kind: EvCall, TID: t.ID, Instr: in, Stack: t.Stack()})
+	}
+	fr := &Frame{Fn: fn, Regs: make(map[string]int64, 8), CallInstr: in}
+	for i, p := range fn.Params {
+		if i < len(args) {
+			fr.Regs[p] = args[i]
+		}
+	}
+	t.Frames = append(t.Frames, fr)
+	m.enterBlock(t, fn.Entry(), "")
+}
+
+func binOp(k ir.BinKind, a, b int64) (int64, *Fault) {
+	switch k {
+	case ir.BinAdd:
+		return a + b, nil
+	case ir.BinSub:
+		return a - b, nil
+	case ir.BinMul:
+		return a * b, nil
+	case ir.BinDiv:
+		if b == 0 {
+			return 0, &Fault{Kind: FaultDivZero}
+		}
+		return a / b, nil
+	case ir.BinRem:
+		if b == 0 {
+			return 0, &Fault{Kind: FaultDivZero}
+		}
+		return a % b, nil
+	case ir.BinAnd:
+		return a & b, nil
+	case ir.BinOr:
+		return a | b, nil
+	case ir.BinXor:
+		return a ^ b, nil
+	case ir.BinShl:
+		return a << (uint64(b) & 63), nil
+	case ir.BinShr:
+		return int64(uint64(a) >> (uint64(b) & 63)), nil
+	default:
+		return 0, &Fault{Kind: FaultBadCall, Msg: fmt.Sprintf("bad binop %d", int(k))}
+	}
+}
+
+func cmpOp(p ir.CmpPred, a, b int64) bool {
+	switch p {
+	case ir.CmpEQ:
+		return a == b
+	case ir.CmpNE:
+		return a != b
+	case ir.CmpLT:
+		return a < b
+	case ir.CmpLE:
+		return a <= b
+	case ir.CmpGT:
+		return a > b
+	case ir.CmpGE:
+		return a >= b
+	case ir.CmpULT:
+		return uint64(a) < uint64(b)
+	case ir.CmpULE:
+		return uint64(a) <= uint64(b)
+	case ir.CmpUGT:
+		return uint64(a) > uint64(b)
+	case ir.CmpUGE:
+		return uint64(a) >= uint64(b)
+	default:
+		return false
+	}
+}
+
+func boolToInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,263 @@
+package interp
+
+import (
+	"testing"
+)
+
+func TestStrlenAndMemset(t *testing.T) {
+	src := `
+global @s = "hello"
+func @main() {
+entry:
+  %p = addr @s
+  %n = call @strlen(%p)
+  call @print(%n)
+  %buf = call @malloc(4)
+  call @memset(%buf, 9, 4)
+  %v = load %buf
+  %q = gep %buf, 3
+  %w = load %q
+  %sum = add %v, %w
+  call @print(%sum)
+  ret 0
+}
+`
+	_, r := run(t, src, Config{})
+	if r.Output[0] != "5" || r.Output[1] != "18" {
+		t.Errorf("output = %v, want [5 18]", r.Output)
+	}
+}
+
+func TestMemcpyCopiesAndFaultsOnShortDst(t *testing.T) {
+	src := `
+func @main() {
+entry:
+  %src = call @malloc(4)
+  call @memset(%src, 7, 4)
+  %dst = call @malloc(4)
+  %r = call @memcpy(%dst, %src, 4)
+  %v = load %dst
+  call @print(%v)
+  %small = call @malloc(2)
+  %r2 = call @memcpy(%small, %src, 4)
+  ret 0
+}
+`
+	_, r := run(t, src, Config{})
+	if r.Output[0] != "7" {
+		t.Errorf("copy failed: %v", r.Output)
+	}
+	if len(r.Faults) != 1 || r.Faults[0].Kind != FaultOOB {
+		t.Errorf("short-dst memcpy faults = %v", r.Faults)
+	}
+}
+
+func TestForkAndThreadID(t *testing.T) {
+	src := `
+func @main() {
+entry:
+  %pid = call @fork()
+  call @print(%pid)
+  %tid = call @thread_id()
+  call @print(%tid)
+  ret 0
+}
+`
+	_, r := run(t, src, Config{})
+	if r.Output[0] != "1001" || r.Output[1] != "0" {
+		t.Errorf("output = %v", r.Output)
+	}
+}
+
+func TestRandDeterministicPerMachine(t *testing.T) {
+	src := `
+func @main() {
+entry:
+  %a = call @rand(100)
+  %b = call @rand(100)
+  call @print(%a)
+  call @print(%b)
+  ret 0
+}
+`
+	_, r1 := run(t, src, Config{})
+	_, r2 := run(t, src, Config{})
+	if r1.Output[0] != r2.Output[0] || r1.Output[1] != r2.Output[1] {
+		t.Errorf("rand not deterministic: %v vs %v", r1.Output, r2.Output)
+	}
+	if r1.Output[0] == r1.Output[1] {
+		t.Logf("note: consecutive rand values equal (%v) — acceptable but unusual", r1.Output)
+	}
+}
+
+func TestInputAvail(t *testing.T) {
+	src := `
+func @main() {
+entry:
+  %n = call @input_avail()
+  call @print(%n)
+  %v = call @input()
+  %n2 = call @input_avail()
+  call @print(%n2)
+  ret 0
+}
+`
+	_, r := run(t, src, Config{Inputs: []int64{5, 6, 7}})
+	if r.Output[0] != "3" || r.Output[1] != "2" {
+		t.Errorf("output = %v", r.Output)
+	}
+}
+
+func TestFSCloseAndBadWrites(t *testing.T) {
+	src := `
+func @main() {
+entry:
+  %fd = call @open("f.txt")
+  call @print(%fd)
+  call @close(%fd)
+  %buf = call @malloc(1)
+  %n = call @write(%fd, %buf, 1)
+  call @print(%n)
+  %m = call @write(999, %buf, 1)
+  call @print(%m)
+  ret 0
+}
+`
+	_, r := run(t, src, Config{})
+	if r.Output[0] != "3" {
+		t.Errorf("first fd = %v, want 3 (0-2 reserved)", r.Output[0])
+	}
+	if r.Output[1] != "0" || r.Output[2] != "0" {
+		t.Errorf("writes to closed/bad fds = %v, want 0", r.Output[1:])
+	}
+}
+
+func TestHaltOnFault(t *testing.T) {
+	src := `
+func @crasher() {
+entry:
+  %v = load 0
+  ret 0
+}
+func @spinner() {
+entry:
+  jmp loop
+loop:
+  call @yield()
+  jmp loop
+}
+func @main() {
+entry:
+  %t1 = call @spawn(@spinner)
+  %t2 = call @spawn(@crasher)
+  %r = call @join(%t2)
+  call @exit(0)
+  ret 0
+}
+`
+	_, r := run(t, src, Config{MaxSteps: 5000, HaltOnFault: true})
+	if r.MaxStepsHit {
+		t.Error("HaltOnFault did not stop the machine")
+	}
+	if r.ExitCode != 139 {
+		t.Errorf("exit code = %d, want 139", r.ExitCode)
+	}
+	// Without HaltOnFault the spinner keeps the machine alive until exit.
+	_, r = run(t, src, Config{MaxSteps: 5000})
+	if r.ExitCode == 139 {
+		t.Error("fault halted the machine without HaltOnFault")
+	}
+}
+
+func TestMutexUnlockByNonOwnerIsNoop(t *testing.T) {
+	src := `
+global @m = 0
+func @main() {
+entry:
+  call @mutex_unlock(@m)
+  call @mutex_lock(@m)
+  call @mutex_unlock(@m)
+  call @print(1)
+  ret 0
+}
+`
+	_, r := run(t, src, Config{})
+	if len(r.Faults) != 0 || r.Output[0] != "1" {
+		t.Errorf("faults=%v output=%v", r.Faults, r.Output)
+	}
+}
+
+func TestSpawnNonFunctionFaults(t *testing.T) {
+	src := `
+func @main() {
+entry:
+  %bogus = const 12345
+  %t = call @spawn(%bogus)
+  ret 0
+}
+`
+	_, r := run(t, src, Config{})
+	if len(r.Faults) != 1 || r.Faults[0].Kind != FaultBadCall {
+		t.Errorf("faults = %v", r.Faults)
+	}
+}
+
+func TestJoinUnknownThreadFaults(t *testing.T) {
+	src := `
+func @main() {
+entry:
+  %r = call @join(99)
+  ret 0
+}
+`
+	_, r := run(t, src, Config{})
+	if len(r.Faults) != 1 || r.Faults[0].Kind != FaultBadCall {
+		t.Errorf("faults = %v", r.Faults)
+	}
+}
+
+func TestJoinFaultedThreadReturnsZero(t *testing.T) {
+	src := `
+func @crasher() {
+entry:
+  %v = load 0
+  ret 7
+}
+func @main() {
+entry:
+  %t = call @spawn(@crasher)
+  %r = call @join(%t)
+  call @print(%r)
+  ret 0
+}
+`
+	_, r := run(t, src, Config{})
+	if len(r.Output) != 1 || r.Output[0] != "0" {
+		t.Errorf("join of faulted thread = %v, want 0", r.Output)
+	}
+	if len(r.Faults) != 1 {
+		t.Errorf("faults = %v", r.Faults)
+	}
+}
+
+func TestIndirectIntrinsicCall(t *testing.T) {
+	// A function-pointer to an intrinsic (print) resolved at call time.
+	src := `
+global @fp = 0
+func @main() {
+entry:
+  %f = func @print
+  store %f, @fp
+  %g = load @fp
+  call %g(42)
+  ret 0
+}
+`
+	_, r := run(t, src, Config{})
+	if len(r.Faults) != 0 {
+		t.Fatalf("faults = %v", r.Faults)
+	}
+	if len(r.Output) != 1 || r.Output[0] != "42" {
+		t.Errorf("output = %v", r.Output)
+	}
+}

@@ -1,0 +1,283 @@
+package interp
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/conanalysis/owl/internal/callstack"
+	"github.com/conanalysis/owl/internal/ir"
+)
+
+// BlockKind classifies arena blocks.
+type BlockKind int
+
+// Arena block kinds.
+const (
+	BlockGlobal BlockKind = iota + 1
+	BlockHeap
+	BlockStack
+)
+
+func (k BlockKind) String() string {
+	switch k {
+	case BlockGlobal:
+		return "global"
+	case BlockHeap:
+		return "heap"
+	case BlockStack:
+		return "stack"
+	default:
+		return fmt.Sprintf("BlockKind(%d)", int(k))
+	}
+}
+
+// MemBlock is one allocation in the arena. Blocks are word granular: the
+// IR's unit of memory is a 64-bit word, so "one byte" in the modelled C
+// programs maps to one word here. Freed blocks keep their contents so
+// use-after-free reads can be reported with the stale value, like a real
+// allocator with poisoning would.
+type MemBlock struct {
+	ID    int
+	Base  int64
+	Size  int64
+	Words []int64
+	Kind  BlockKind
+	Name  string // e.g. "@dying", "malloc@log_clean", "alloca@main"
+	Freed bool
+
+	// AllocStack and FreeStack record where the block was allocated and
+	// freed, enriching use-after-free reports.
+	AllocStack callstack.Stack
+	FreeStack  callstack.Stack
+}
+
+// Contains reports whether addr falls inside the block's range.
+func (b *MemBlock) Contains(addr int64) bool {
+	return addr >= b.Base && addr < b.Base+b.Size
+}
+
+// FaultKind classifies runtime memory/control faults. These are the
+// consequences the attack oracles look for: a buffer overflow fault at the
+// strcpy site is the Libsafe code injection; a null function pointer call
+// is the Linux uselib attack; a use-after-free is the SSDB CVE.
+type FaultKind int
+
+// Fault kinds.
+const (
+	FaultNilDeref FaultKind = iota + 1
+	FaultOOB
+	FaultUseAfterFree
+	FaultDoubleFree
+	FaultBadFree
+	FaultDivZero
+	FaultNullFuncPtr
+	FaultBadCall
+	FaultAssert
+	FaultAbort
+	FaultUnknownIntrinsic
+)
+
+var faultNames = map[FaultKind]string{
+	FaultNilDeref:         "null pointer dereference",
+	FaultOOB:              "out-of-bounds access (buffer overflow)",
+	FaultUseAfterFree:     "use after free",
+	FaultDoubleFree:       "double free",
+	FaultBadFree:          "free of non-heap pointer",
+	FaultDivZero:          "division by zero",
+	FaultNullFuncPtr:      "null function pointer call",
+	FaultBadCall:          "call through non-function value",
+	FaultAssert:           "assertion failure",
+	FaultAbort:            "abort",
+	FaultUnknownIntrinsic: "unknown function",
+}
+
+func (k FaultKind) String() string {
+	if s, ok := faultNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// Fault is a runtime fault. It implements error.
+type Fault struct {
+	Kind  FaultKind
+	TID   ThreadID
+	Addr  int64
+	Instr *ir.Instr
+	Stack callstack.Stack
+	Msg   string
+	Step  int
+}
+
+func (f *Fault) Error() string {
+	loc := "?"
+	if f.Instr != nil {
+		loc = f.Instr.Loc()
+	}
+	s := fmt.Sprintf("thread %d: %s at %s", f.TID, f.Kind, loc)
+	if f.Msg != "" {
+		s += ": " + f.Msg
+	}
+	return s
+}
+
+// Arena is the machine's word-addressed memory. Addresses are dense and
+// allocated deterministically, so identical schedules produce identical
+// addresses — the property OWL's replay-based verifiers depend on.
+// Address 0 is NULL and never allocated; the first block starts at
+// arenaBase to keep small integers distinguishable from pointers in
+// reports.
+type Arena struct {
+	blocks []*MemBlock // sorted by Base
+	next   int64
+}
+
+const arenaBase = 0x10000
+
+// NewArena returns an empty arena.
+func NewArena() *Arena {
+	return &Arena{next: arenaBase}
+}
+
+// Alloc allocates a block of size words.
+func (a *Arena) Alloc(size int64, kind BlockKind, name string, stack callstack.Stack) *MemBlock {
+	if size < 1 {
+		size = 1
+	}
+	b := &MemBlock{
+		ID:         len(a.blocks),
+		Base:       a.next,
+		Size:       size,
+		Words:      make([]int64, size),
+		Kind:       kind,
+		Name:       name,
+		AllocStack: stack.Clone(),
+	}
+	// Leave a one-word unaddressable gap between blocks so off-by-one
+	// overflows fault instead of silently landing in the next block.
+	a.next += size + 1
+	a.blocks = append(a.blocks, b)
+	return b
+}
+
+// Find returns the block containing addr, freed or not, or nil. Lookup is
+// binary search over the base-sorted block list.
+func (a *Arena) Find(addr int64) *MemBlock {
+	i := sort.Search(len(a.blocks), func(i int) bool {
+		return a.blocks[i].Base > addr
+	})
+	if i == 0 {
+		return nil
+	}
+	b := a.blocks[i-1]
+	if b.Contains(addr) {
+		return b
+	}
+	return nil
+}
+
+// check validates an access of [addr, addr+n) and returns the block.
+func (a *Arena) check(addr, n int64) (*MemBlock, *Fault) {
+	if addr == 0 {
+		return nil, &Fault{Kind: FaultNilDeref, Addr: addr}
+	}
+	b := a.Find(addr)
+	if b == nil {
+		return nil, &Fault{Kind: FaultOOB, Addr: addr,
+			Msg: fmt.Sprintf("address 0x%x maps to no allocation", addr)}
+	}
+	if b.Freed {
+		return b, &Fault{Kind: FaultUseAfterFree, Addr: addr,
+			Msg: fmt.Sprintf("block %q freed earlier", b.Name)}
+	}
+	if addr+n > b.Base+b.Size {
+		return b, &Fault{Kind: FaultOOB, Addr: addr,
+			Msg: fmt.Sprintf("access of %d words at offset %d overflows block %q (size %d)",
+				n, addr-b.Base, b.Name, b.Size)}
+	}
+	return b, nil
+}
+
+// Load reads one word. The returned fault (if any) has only Kind/Addr/Msg
+// populated; the machine fills in thread context.
+func (a *Arena) Load(addr int64) (int64, *Fault) {
+	b, f := a.check(addr, 1)
+	if f != nil {
+		if f.Kind == FaultUseAfterFree && b != nil {
+			// Report the stale value the UAF would have observed.
+			f.Msg += fmt.Sprintf(" (stale value %d)", b.Words[addr-b.Base])
+		}
+		return 0, f
+	}
+	return b.Words[addr-b.Base], nil
+}
+
+// Store writes one word.
+func (a *Arena) Store(addr, val int64) *Fault {
+	b, f := a.check(addr, 1)
+	if f != nil {
+		return f
+	}
+	b.Words[addr-b.Base] = val
+	return nil
+}
+
+// Peek reads a word without fault semantics (for verifier introspection
+// and oracles); returns 0 for unmapped addresses, stale values for freed
+// blocks.
+func (a *Arena) Peek(addr int64) int64 {
+	b := a.Find(addr)
+	if b == nil {
+		return 0
+	}
+	return b.Words[addr-b.Base]
+}
+
+// Poke writes a word without fault semantics (for test setup).
+func (a *Arena) Poke(addr, val int64) bool {
+	b := a.Find(addr)
+	if b == nil {
+		return false
+	}
+	b.Words[addr-b.Base] = val
+	return true
+}
+
+// Free releases a heap block.
+func (a *Arena) Free(addr int64, stack callstack.Stack) *Fault {
+	if addr == 0 {
+		return &Fault{Kind: FaultNilDeref, Addr: addr, Msg: "free(NULL)"}
+	}
+	b := a.Find(addr)
+	if b == nil || addr != b.Base {
+		return &Fault{Kind: FaultBadFree, Addr: addr}
+	}
+	if b.Kind != BlockHeap {
+		return &Fault{Kind: FaultBadFree, Addr: addr,
+			Msg: fmt.Sprintf("free of %s block %q", b.Kind, b.Name)}
+	}
+	if b.Freed {
+		return &Fault{Kind: FaultDoubleFree, Addr: addr,
+			Msg: fmt.Sprintf("block %q already freed", b.Name)}
+	}
+	b.Freed = true
+	b.FreeStack = stack.Clone()
+	return nil
+}
+
+// Blocks returns all blocks (live and freed), base-ordered.
+func (a *Arena) Blocks() []*MemBlock { return a.blocks }
+
+// NameFor returns a human label for an address: "@global+off" or
+// "heapname+off", falling back to hex.
+func (a *Arena) NameFor(addr int64) string {
+	b := a.Find(addr)
+	if b == nil {
+		return fmt.Sprintf("0x%x", addr)
+	}
+	off := addr - b.Base
+	if off == 0 {
+		return b.Name
+	}
+	return fmt.Sprintf("%s+%d", b.Name, off)
+}

@@ -1,0 +1,146 @@
+package interp
+
+import (
+	"fmt"
+
+	"github.com/conanalysis/owl/internal/callstack"
+	"github.com/conanalysis/owl/internal/ir"
+)
+
+// ThreadID identifies a thread within one machine run. The main thread is
+// always 0; spawned threads get increasing IDs in spawn order, which is
+// deterministic for a fixed schedule.
+type ThreadID int
+
+// ThreadStatus is a thread's scheduling state.
+type ThreadStatus int
+
+// Thread statuses.
+const (
+	StatusRunnable ThreadStatus = iota + 1
+	StatusBlockedMutex
+	StatusBlockedJoin
+	StatusSleeping
+	StatusDone
+	StatusFaulted
+)
+
+func (s ThreadStatus) String() string {
+	switch s {
+	case StatusRunnable:
+		return "runnable"
+	case StatusBlockedMutex:
+		return "blocked-mutex"
+	case StatusBlockedJoin:
+		return "blocked-join"
+	case StatusSleeping:
+		return "sleeping"
+	case StatusDone:
+		return "done"
+	case StatusFaulted:
+		return "faulted"
+	default:
+		return fmt.Sprintf("ThreadStatus(%d)", int(s))
+	}
+}
+
+// Frame is one activation record.
+type Frame struct {
+	Fn        *ir.Func
+	Block     *ir.Block
+	PC        int // index into Block.Instrs
+	PrevBlock string
+	Regs      map[string]int64
+	// CallInstr is the call instruction in the caller that created this
+	// frame (nil for the bottom frame); its Dst receives the return value.
+	CallInstr *ir.Instr
+	// Allocas tracks blocks allocated by alloca in this frame; freed on
+	// return (function-lifetime storage).
+	Allocas []*MemBlock
+}
+
+// Cur returns the instruction the frame is about to execute, or nil at
+// end-of-block (which the verifier treats as malformed IR).
+func (fr *Frame) Cur() *ir.Instr {
+	if fr.Block == nil || fr.PC >= len(fr.Block.Instrs) {
+		return nil
+	}
+	return fr.Block.Instrs[fr.PC]
+}
+
+// Thread is one thread of execution.
+type Thread struct {
+	ID     ThreadID
+	Status ThreadStatus
+	Frames []*Frame
+
+	// Suspended marks the thread halted by a thread-specific breakpoint
+	// (§5.2): the rest of the machine keeps running. A suspended thread is
+	// not offered to the scheduler until resumed.
+	Suspended bool
+
+	// WaitAddr is the mutex address for StatusBlockedMutex.
+	WaitAddr int64
+	// JoinTarget is the thread waited for in StatusBlockedJoin.
+	JoinTarget ThreadID
+	// SleepUntil is the machine step at which a sleeping thread wakes.
+	SleepUntil int
+
+	// Result is the thread's return value once done.
+	Result int64
+
+	// SpawnInstr is the call that created the thread (nil for main).
+	SpawnInstr *ir.Instr
+}
+
+// Top returns the innermost frame, or nil if the thread has exited.
+func (t *Thread) Top() *Frame {
+	if len(t.Frames) == 0 {
+		return nil
+	}
+	return t.Frames[len(t.Frames)-1]
+}
+
+// Cur returns the instruction the thread would execute next, or nil.
+func (t *Thread) Cur() *ir.Instr {
+	fr := t.Top()
+	if fr == nil {
+		return nil
+	}
+	return fr.Cur()
+}
+
+// Stack captures the thread's call stack, outermost first. The innermost
+// entry's position is the currently executing instruction, matching how
+// TSAN and LLDB print stacks.
+func (t *Thread) Stack() callstack.Stack {
+	st := make(callstack.Stack, 0, len(t.Frames))
+	for i, fr := range t.Frames {
+		pos := ir.Pos{}
+		if i < len(t.Frames)-1 {
+			// Outer frame: position of the call into the next frame.
+			if ci := t.Frames[i+1].CallInstr; ci != nil {
+				pos = ci.Pos
+			}
+		} else if in := fr.Cur(); in != nil {
+			pos = in.Pos
+		}
+		st = append(st, callstack.Entry{Fn: fr.Fn.Name, Pos: pos})
+	}
+	return st
+}
+
+// Runnable reports whether the scheduler may pick this thread.
+func (t *Thread) Runnable(step int) bool {
+	if t.Suspended {
+		return false
+	}
+	switch t.Status {
+	case StatusRunnable:
+		return true
+	case StatusSleeping:
+		return step >= t.SleepUntil
+	default:
+		return false
+	}
+}

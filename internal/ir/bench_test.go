@@ -1,0 +1,70 @@
+package ir
+
+import "testing"
+
+// BenchmarkParse measures .oir parsing throughput on a workload-sized
+// module built from repeated function templates.
+func BenchmarkParse(b *testing.B) {
+	src := "module bench\nglobal @g = 0\n"
+	for i := 0; i < 60; i++ {
+		src += `
+func @fn` + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + `(%x) {
+entry:
+  %v = load @g
+  %c = icmp lt %v, %x
+  br %c, yes, no
+yes:
+  %v2 = add %v, 1
+  store %v2, @g
+  ret %v2
+no:
+  ret 0
+}
+`
+	}
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse("bench.oir", src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildCFG measures dominator/loop/control-dependence analysis.
+func BenchmarkBuildCFG(b *testing.B) {
+	m := MustParse("bench.oir", `
+func @f(%n) {
+entry:
+  jmp h1
+h1:
+  %i = phi [entry: 0], [l1: %i2]
+  %c1 = icmp lt %i, %n
+  br %c1, b1, exit
+b1:
+  %c2 = icmp eq %i, 7
+  br %c2, early, h2
+early:
+  ret %i
+h2:
+  %j = phi [b1: 0], [l2: %j2]
+  %c3 = icmp lt %j, %n
+  br %c3, b2, l1
+b2:
+  %j2 = add %j, 1
+  jmp l2
+l2:
+  jmp h2
+l1:
+  %i2 = add %i, 1
+  jmp h1
+exit:
+  ret 0
+}
+`)
+	f := m.Func("f")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildCFG(f)
+	}
+}

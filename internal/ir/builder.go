@@ -1,0 +1,253 @@
+package ir
+
+import (
+	"fmt"
+)
+
+// Builder constructs IR modules programmatically. It assigns synthetic,
+// strictly increasing line numbers so that every instruction has a stable
+// position for reports even without a source file.
+//
+// Usage:
+//
+//	b := ir.NewBuilder("libsafe")
+//	b.Global("dying", 1, 0)
+//	f := b.Func("stack_check", "dst")
+//	f.Block("entry")
+//	d := f.Load(ir.GlobalOp("dying"))
+//	...
+type Builder struct {
+	mod  *Module
+	line int
+	err  error
+
+	// posFile/posLine, when set via SetPos, override the synthetic
+	// positions — front ends (internal/minic) use this so OWL reports on
+	// compiled programs point at the original source lines.
+	posFile string
+	posLine int
+}
+
+// SetPos makes subsequently emitted instructions carry the given source
+// position instead of a synthetic one; SetPos("", 0) reverts.
+func (b *Builder) SetPos(file string, line int) {
+	b.posFile, b.posLine = file, line
+}
+
+// NewBuilder returns a Builder for a new module.
+func NewBuilder(name string) *Builder {
+	return &Builder{mod: NewModule(name), line: 1}
+}
+
+// Err returns the first error encountered while building, if any.
+func (b *Builder) Err() error { return b.err }
+
+func (b *Builder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// Global declares a scalar or array global initialized to init (word 0).
+func (b *Builder) Global(name string, size int, init int64) {
+	if err := b.mod.AddGlobal(&Global{Name: name, Size: size, Init: init}); err != nil {
+		b.fail(err)
+	}
+}
+
+// GlobalWords declares a global initialized with the given words.
+func (b *Builder) GlobalWords(name string, words []int64) {
+	g := &Global{Name: name, Size: len(words), InitWords: append([]int64(nil), words...)}
+	if len(words) > 0 {
+		g.Init = words[0]
+	}
+	if err := b.mod.AddGlobal(g); err != nil {
+		b.fail(err)
+	}
+}
+
+// Func starts a new function with the given parameter names and returns a
+// FuncBuilder positioned at no block (call Block first).
+func (b *Builder) Func(name string, params ...string) *FuncBuilder {
+	f := &Func{Name: name, Params: params}
+	if err := b.mod.AddFunc(f); err != nil {
+		b.fail(err)
+	}
+	return &FuncBuilder{b: b, fn: f, regSeq: 0}
+}
+
+// Build freezes and returns the module.
+func (b *Builder) Build() (*Module, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := b.mod.Freeze(); err != nil {
+		return nil, err
+	}
+	return b.mod, nil
+}
+
+// MustBuild is Build but panics on error; for statically known modules.
+func (b *Builder) MustBuild() *Module {
+	m, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("ir: build: %v", err))
+	}
+	return m
+}
+
+// FuncBuilder emits instructions into one function.
+type FuncBuilder struct {
+	b      *Builder
+	fn     *Func
+	cur    *Block
+	regSeq int
+}
+
+// Name returns the function's name.
+func (fb *FuncBuilder) Name() string { return fb.fn.Name }
+
+// Block starts (or switches to) a basic block with the given label.
+func (fb *FuncBuilder) Block(name string) {
+	for _, blk := range fb.fn.Blocks {
+		if blk.Name == name {
+			fb.cur = blk
+			return
+		}
+	}
+	blk := &Block{Name: name}
+	fb.fn.Blocks = append(fb.fn.Blocks, blk)
+	fb.cur = blk
+}
+
+func (fb *FuncBuilder) emit(in *Instr) *Instr {
+	if fb.cur == nil {
+		fb.b.fail(fmt.Errorf("func @%s: emit %s outside a block", fb.fn.Name, in.Op))
+		return in
+	}
+	if fb.b.posLine > 0 {
+		in.Pos = Pos{File: fb.b.posFile, Line: fb.b.posLine}
+	} else {
+		in.Pos = Pos{File: fb.b.mod.Name + ".oir", Line: fb.b.line}
+		fb.b.line++
+	}
+	fb.cur.Instrs = append(fb.cur.Instrs, in)
+	return in
+}
+
+func (fb *FuncBuilder) newReg() string {
+	fb.regSeq++
+	return fmt.Sprintf("t%d", fb.regSeq)
+}
+
+// Const emits %r = const v and returns the register operand.
+func (fb *FuncBuilder) Const(v int64) Operand {
+	r := fb.newReg()
+	fb.emit(&Instr{Op: OpConst, Dst: r, Args: []Operand{ConstOp(v)}})
+	return RegOp(r)
+}
+
+// Load emits %r = load ptr.
+func (fb *FuncBuilder) Load(ptr Operand) Operand {
+	r := fb.newReg()
+	fb.emit(&Instr{Op: OpLoad, Dst: r, Args: []Operand{ptr}})
+	return RegOp(r)
+}
+
+// LoadNamed is Load but with a caller-chosen destination register name,
+// which makes reports and tests easier to read.
+func (fb *FuncBuilder) LoadNamed(dst string, ptr Operand) Operand {
+	fb.emit(&Instr{Op: OpLoad, Dst: dst, Args: []Operand{ptr}})
+	return RegOp(dst)
+}
+
+// Store emits store val, ptr.
+func (fb *FuncBuilder) Store(val, ptr Operand) {
+	fb.emit(&Instr{Op: OpStore, Args: []Operand{val, ptr}})
+}
+
+// Bin emits %r = op a, b.
+func (fb *FuncBuilder) Bin(op BinKind, a, b Operand) Operand {
+	r := fb.newReg()
+	fb.emit(&Instr{Op: OpBin, Dst: r, Bin: op, Args: []Operand{a, b}})
+	return RegOp(r)
+}
+
+// Add emits an addition.
+func (fb *FuncBuilder) Add(a, b Operand) Operand { return fb.Bin(BinAdd, a, b) }
+
+// Sub emits a subtraction.
+func (fb *FuncBuilder) Sub(a, b Operand) Operand { return fb.Bin(BinSub, a, b) }
+
+// Cmp emits %r = icmp pred a, b.
+func (fb *FuncBuilder) Cmp(pred CmpPred, a, b Operand) Operand {
+	r := fb.newReg()
+	fb.emit(&Instr{Op: OpCmp, Dst: r, Pred: pred, Args: []Operand{a, b}})
+	return RegOp(r)
+}
+
+// Br emits a conditional branch.
+func (fb *FuncBuilder) Br(cond Operand, then, els string) {
+	fb.emit(&Instr{Op: OpBr, Args: []Operand{cond, LabelOp(then), LabelOp(els)}})
+}
+
+// Jmp emits an unconditional branch.
+func (fb *FuncBuilder) Jmp(target string) {
+	fb.emit(&Instr{Op: OpJmp, Args: []Operand{LabelOp(target)}})
+}
+
+// Phi emits a phi node.
+func (fb *FuncBuilder) Phi(edges ...PhiEdge) Operand {
+	r := fb.newReg()
+	fb.emit(&Instr{Op: OpPhi, Dst: r, Phis: edges})
+	return RegOp(r)
+}
+
+// Call emits a call with a result register.
+func (fb *FuncBuilder) Call(callee Operand, args ...Operand) Operand {
+	r := fb.newReg()
+	fb.emit(&Instr{Op: OpCall, Dst: r, Args: append([]Operand{callee}, args...)})
+	return RegOp(r)
+}
+
+// CallVoid emits a call discarding the result.
+func (fb *FuncBuilder) CallVoid(callee Operand, args ...Operand) {
+	fb.emit(&Instr{Op: OpCall, Args: append([]Operand{callee}, args...)})
+}
+
+// Ret emits ret [val].
+func (fb *FuncBuilder) Ret(val ...Operand) {
+	if len(val) > 0 {
+		fb.emit(&Instr{Op: OpRet, Args: []Operand{val[0]}})
+		return
+	}
+	fb.emit(&Instr{Op: OpRet})
+}
+
+// Alloca emits %r = alloca n (n words with function lifetime).
+func (fb *FuncBuilder) Alloca(n int64) Operand {
+	r := fb.newReg()
+	fb.emit(&Instr{Op: OpAlloca, Dst: r, Args: []Operand{ConstOp(n)}})
+	return RegOp(r)
+}
+
+// Gep emits %r = gep base, off (word-scaled pointer arithmetic).
+func (fb *FuncBuilder) Gep(base, off Operand) Operand {
+	r := fb.newReg()
+	fb.emit(&Instr{Op: OpGep, Dst: r, Args: []Operand{base, off}})
+	return RegOp(r)
+}
+
+// AddrOf emits %r = addr @g.
+func (fb *FuncBuilder) AddrOf(global string) Operand {
+	r := fb.newReg()
+	fb.emit(&Instr{Op: OpAddrOf, Dst: r, Args: []Operand{GlobalOp(global)}})
+	return RegOp(r)
+}
+
+// FuncRef emits %r = func @f (a first-class function reference).
+func (fb *FuncBuilder) FuncRef(fn string) Operand {
+	r := fb.newReg()
+	fb.emit(&Instr{Op: OpFunc, Dst: r, Args: []Operand{FuncOp(fn)}})
+	return RegOp(r)
+}

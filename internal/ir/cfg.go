@@ -1,0 +1,333 @@
+package ir
+
+import (
+	"sort"
+)
+
+// CFG holds per-function control-flow analyses: predecessor/successor maps,
+// dominators, post-dominators, block-level control dependence, and natural
+// loops. The ad-hoc synchronization detector (§5.1) uses loops and
+// loop-exit edges; the vulnerability analyzer (Algorithm 1, §6.1) uses
+// control dependence to track bug-to-attack propagation through branches
+// (the Libsafe attack is a pure control dependence).
+type CFG struct {
+	Fn    *Func
+	Preds map[string][]string
+	Succs map[string][]string
+
+	// Idom maps a block to its immediate dominator ("" for entry).
+	Idom map[string]string
+	// Ipdom maps a block to its immediate post-dominator ("" for virtual exit).
+	Ipdom map[string]string
+
+	// CtrlDeps maps a block B to the conditional-branch blocks that B is
+	// control dependent on (classic Ferrante et al. definition computed via
+	// the post-dominance frontier).
+	CtrlDeps map[string][]string
+
+	Loops []*Loop
+
+	loopOf map[string][]*Loop
+}
+
+// Loop is a natural loop: Header plus the body block set.
+type Loop struct {
+	Header string
+	Blocks map[string]bool
+	// Latches are the blocks with back edges to Header.
+	Latches []string
+}
+
+// Contains reports whether the block is inside the loop.
+func (l *Loop) Contains(block string) bool { return l.Blocks[block] }
+
+// ExitBranches returns the conditional branch instructions inside the loop
+// with at least one successor outside the loop (i.e. branches that can
+// break out of the loop).
+func (l *Loop) ExitBranches(f *Func) []*Instr {
+	var out []*Instr
+	for name := range l.Blocks {
+		b := f.Block(name)
+		t := b.Terminator()
+		if t == nil || t.Op != OpBr {
+			continue
+		}
+		for _, s := range b.Succs() {
+			if !l.Blocks[s] {
+				out = append(out, t)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// BuildCFG computes the analyses for one function. The module must be
+// frozen.
+func BuildCFG(f *Func) *CFG {
+	c := &CFG{
+		Fn:     f,
+		Preds:  make(map[string][]string),
+		Succs:  make(map[string][]string),
+		loopOf: make(map[string][]*Loop),
+	}
+	for _, b := range f.Blocks {
+		succs := b.Succs()
+		c.Succs[b.Name] = succs
+		for _, s := range succs {
+			c.Preds[s] = append(c.Preds[s], b.Name)
+		}
+	}
+	c.Idom = c.dominators(f.Entry().Name, c.Preds, c.Succs, c.rpo(f.Entry().Name, c.Succs))
+	c.computePostDom()
+	c.computeCtrlDeps()
+	c.computeLoops()
+	return c
+}
+
+// rpo returns reverse postorder over the given successor map from root.
+func (c *CFG) rpo(root string, succs map[string][]string) []string {
+	var order []string
+	seen := map[string]bool{}
+	var dfs func(string)
+	dfs = func(n string) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, s := range succs[n] {
+			dfs(s)
+		}
+		order = append(order, n)
+	}
+	dfs(root)
+	// reverse
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// dominators runs the classic iterative dominator algorithm (Cooper,
+// Harvey, Kennedy) over the graph described by preds, with blocks visited
+// in the supplied reverse postorder.
+func (c *CFG) dominators(entry string, preds, succs map[string][]string, order []string) map[string]string {
+	pos := make(map[string]int, len(order))
+	for i, n := range order {
+		pos[n] = i
+	}
+	idom := map[string]string{entry: entry}
+	intersect := func(a, b string) string {
+		for a != b {
+			for pos[a] > pos[b] {
+				a = idom[a]
+			}
+			for pos[b] > pos[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range order {
+			if n == entry {
+				continue
+			}
+			var newIdom string
+			for _, p := range preds[n] {
+				if _, ok := idom[p]; !ok {
+					continue
+				}
+				if newIdom == "" {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom == "" {
+				continue // unreachable from entry
+			}
+			if idom[n] != newIdom {
+				idom[n] = newIdom
+				changed = true
+			}
+		}
+	}
+	idom[entry] = "" // conventional: entry has no idom
+	return idom
+}
+
+const virtualExit = "<exit>"
+
+// computePostDom computes immediate post-dominators using a virtual exit
+// node joined to every ret block (and to every block with no successors,
+// so infinite loops don't break the analysis).
+func (c *CFG) computePostDom() {
+	rsuccs := make(map[string][]string) // reversed edges: block -> preds in reversed graph = succs in original... we build reversed explicitly
+	rpreds := make(map[string][]string)
+	addEdge := func(from, to string) {
+		// edge in reversed graph
+		rsuccs[from] = append(rsuccs[from], to)
+		rpreds[to] = append(rpreds[to], from)
+	}
+	for _, b := range c.Fn.Blocks {
+		succs := c.Succs[b.Name]
+		if len(succs) == 0 {
+			addEdge(virtualExit, b.Name)
+		}
+		for _, s := range succs {
+			addEdge(s, b.Name)
+		}
+	}
+	// Blocks unreachable backwards from exit (infinite loops): connect them
+	// so every block is post-dominated by the virtual exit.
+	order := c.rpo(virtualExit, rsuccs)
+	reached := make(map[string]bool, len(order))
+	for _, n := range order {
+		reached[n] = true
+	}
+	for _, b := range c.Fn.Blocks {
+		if !reached[b.Name] {
+			addEdge(virtualExit, b.Name)
+		}
+	}
+	order = c.rpo(virtualExit, rsuccs)
+	ipdom := c.dominators(virtualExit, rpreds, rsuccs, order)
+	delete(ipdom, virtualExit)
+	c.Ipdom = ipdom
+}
+
+// pdomSet returns the chain of post-dominators of n (excluding n itself).
+func (c *CFG) pdomChain(n string) map[string]bool {
+	out := map[string]bool{}
+	for cur := c.Ipdom[n]; cur != "" && cur != virtualExit; cur = c.Ipdom[cur] {
+		if out[cur] {
+			break
+		}
+		out[cur] = true
+	}
+	return out
+}
+
+// computeCtrlDeps computes block-level control dependence: block B is
+// control dependent on branch block A iff A has successors S1 where B
+// post-dominates the path from S1 but B does not post-dominate A.
+func (c *CFG) computeCtrlDeps() {
+	c.CtrlDeps = make(map[string][]string)
+	seen := make(map[[2]string]bool)
+	for _, a := range c.Fn.Blocks {
+		succs := c.Succs[a.Name]
+		if len(succs) < 2 {
+			continue
+		}
+		for _, s := range succs {
+			// Walk the post-dominator chain from s up to (but excluding)
+			// the post-dominator of a; every node on it is control
+			// dependent on a.
+			stopAt := c.Ipdom[a.Name]
+			for cur := s; cur != "" && cur != virtualExit && cur != stopAt; cur = c.Ipdom[cur] {
+				key := [2]string{cur, a.Name}
+				if !seen[key] {
+					seen[key] = true
+					c.CtrlDeps[cur] = append(c.CtrlDeps[cur], a.Name)
+				}
+			}
+		}
+	}
+}
+
+// computeLoops finds natural loops from back edges (edge u->h where h
+// dominates u) and merges loops sharing a header.
+func (c *CFG) computeLoops() {
+	dominates := func(a, b string) bool {
+		if a == b {
+			return true
+		}
+		for cur := c.Idom[b]; cur != ""; cur = c.Idom[cur] {
+			if cur == a {
+				return true
+			}
+		}
+		return false
+	}
+	byHeader := map[string]*Loop{}
+	for _, b := range c.Fn.Blocks {
+		for _, s := range c.Succs[b.Name] {
+			if !dominates(s, b.Name) {
+				continue
+			}
+			l := byHeader[s]
+			if l == nil {
+				l = &Loop{Header: s, Blocks: map[string]bool{s: true}}
+				byHeader[s] = l
+			}
+			l.Latches = append(l.Latches, b.Name)
+			// Natural loop body: nodes reaching the latch without passing
+			// through the header.
+			stack := []string{b.Name}
+			for len(stack) > 0 {
+				n := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if l.Blocks[n] {
+					continue
+				}
+				l.Blocks[n] = true
+				stack = append(stack, c.Preds[n]...)
+			}
+		}
+	}
+	var headers []string
+	for h := range byHeader {
+		headers = append(headers, h)
+	}
+	sort.Strings(headers)
+	for _, h := range headers {
+		l := byHeader[h]
+		c.Loops = append(c.Loops, l)
+		for blk := range l.Blocks {
+			c.loopOf[blk] = append(c.loopOf[blk], l)
+		}
+	}
+}
+
+// LoopsContaining returns the loops whose body includes the block.
+func (c *CFG) LoopsContaining(block string) []*Loop { return c.loopOf[block] }
+
+// InLoop reports whether the instruction sits inside any natural loop.
+func (c *CFG) InLoop(in *Instr) bool {
+	return in.Block != nil && len(c.loopOf[in.Block.Name]) > 0
+}
+
+// IsCtrlDependent reports whether instruction i is (transitively at block
+// level) control dependent on the conditional branch br.
+func (c *CFG) IsCtrlDependent(i, br *Instr) bool {
+	if br.Op != OpBr || i.Block == nil || br.Block == nil {
+		return false
+	}
+	// Direct block-level control dependence, transitively.
+	seen := map[string]bool{}
+	var walk func(blk string) bool
+	walk = func(blk string) bool {
+		if seen[blk] {
+			return false
+		}
+		seen[blk] = true
+		for _, dep := range c.CtrlDeps[blk] {
+			if dep == br.Block.Name {
+				return true
+			}
+			if walk(dep) {
+				return true
+			}
+		}
+		return false
+	}
+	if walk(i.Block.Name) {
+		return true
+	}
+	// Same-block case: instructions after a branch in the same block can't
+	// exist (branch terminates the block), so nothing more to check.
+	return false
+}

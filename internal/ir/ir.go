@@ -1,0 +1,580 @@
+// Package ir defines OWL's SSA-form intermediate representation.
+//
+// The representation mirrors the LLVM subset that the paper's analyses
+// consume: loads and stores against an addressable arena, integer
+// arithmetic and comparisons, conditional and unconditional branches,
+// direct and indirect calls, phi nodes, and pointer arithmetic. Every
+// instruction carries a source position so that reports can point at
+// "file:line" the way OWL's Figure 5 report does.
+//
+// Modules can be constructed programmatically with Builder or parsed from
+// the textual ".oir" format (see Parse). The textual format round-trips
+// through Format.
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is the (deliberately small) type system of the IR. The vulnerability
+// verifier reports the type of racing variables (§5.2 of the paper), which
+// is the only consumer beyond basic well-formedness checking.
+type Type int
+
+// Supported types. TypeInt is a 64-bit integer word; TypePtr is a word
+// interpreted as an arena address; TypeFunc is a word holding a function
+// reference (used by indirect calls, e.g. the Linux f_op attack).
+const (
+	TypeVoid Type = iota + 1
+	TypeInt
+	TypePtr
+	TypeFunc
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeVoid:
+		return "void"
+	case TypeInt:
+		return "int"
+	case TypePtr:
+		return "ptr"
+	case TypeFunc:
+		return "func"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Op enumerates instruction opcodes.
+type Op int
+
+// Instruction opcodes.
+const (
+	OpConst  Op = iota + 1 // %r = const <imm>
+	OpLoad                 // %r = load <ptr> — ptr is a register or global
+	OpStore                // store <val>, <ptr>
+	OpBin                  // %r = <binop> <a>, <b>
+	OpCmp                  // %r = icmp <pred> <a>, <b>
+	OpBr                   // br <cond>, <then>, <else>
+	OpJmp                  // jmp <target>
+	OpPhi                  // %r = phi [bb1: a, bb2: b, ...]
+	OpCall                 // [%r =] call <callee>(<args...>)
+	OpRet                  // ret [<val>]
+	OpAlloca               // %r = alloca <n>  — n words, function lifetime
+	OpGep                  // %r = gep <base>, <off> — pointer + word offset
+	OpAddrOf               // %r = addr @global — address of a global
+	OpFunc                 // %r = func @f — function reference value
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpConst:
+		return "const"
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpBin:
+		return "bin"
+	case OpCmp:
+		return "icmp"
+	case OpBr:
+		return "br"
+	case OpJmp:
+		return "jmp"
+	case OpPhi:
+		return "phi"
+	case OpCall:
+		return "call"
+	case OpRet:
+		return "ret"
+	case OpAlloca:
+		return "alloca"
+	case OpGep:
+		return "gep"
+	case OpAddrOf:
+		return "addr"
+	case OpFunc:
+		return "func"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// BinKind enumerates binary arithmetic operators.
+type BinKind int
+
+// Binary operators. Division by zero is a runtime fault.
+const (
+	BinAdd BinKind = iota + 1
+	BinSub
+	BinMul
+	BinDiv
+	BinRem
+	BinAnd
+	BinOr
+	BinXor
+	BinShl
+	BinShr
+)
+
+var binNames = map[BinKind]string{
+	BinAdd: "add", BinSub: "sub", BinMul: "mul", BinDiv: "div",
+	BinRem: "rem", BinAnd: "and", BinOr: "or", BinXor: "xor",
+	BinShl: "shl", BinShr: "shr",
+}
+
+func (b BinKind) String() string {
+	if s, ok := binNames[b]; ok {
+		return s
+	}
+	return fmt.Sprintf("BinKind(%d)", int(b))
+}
+
+// BinKindFromString parses a binary operator mnemonic.
+func BinKindFromString(s string) (BinKind, bool) {
+	for k, n := range binNames {
+		if n == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// CmpPred enumerates comparison predicates. The *U variants compare
+// operands as unsigned 64-bit values — the Apache busy-counter attack
+// (Figure 8) hinges on an unsigned comparison of an underflowed counter.
+type CmpPred int
+
+// Comparison predicates.
+const (
+	CmpEQ CmpPred = iota + 1
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+	CmpULT
+	CmpULE
+	CmpUGT
+	CmpUGE
+)
+
+var predNames = map[CmpPred]string{
+	CmpEQ: "eq", CmpNE: "ne", CmpLT: "lt", CmpLE: "le",
+	CmpGT: "gt", CmpGE: "ge", CmpULT: "ult", CmpULE: "ule",
+	CmpUGT: "ugt", CmpUGE: "uge",
+}
+
+func (p CmpPred) String() string {
+	if s, ok := predNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("CmpPred(%d)", int(p))
+}
+
+// CmpPredFromString parses a comparison predicate mnemonic.
+func CmpPredFromString(s string) (CmpPred, bool) {
+	for k, n := range predNames {
+		if n == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// OperandKind discriminates Operand.
+type OperandKind int
+
+// Operand kinds.
+const (
+	OperandConst  OperandKind = iota + 1 // immediate integer
+	OperandReg                           // SSA virtual register, e.g. %x
+	OperandGlobal                        // global variable, e.g. @dying
+	OperandFunc                          // function reference, e.g. @strcpy
+	OperandLabel                         // basic-block label (branch targets)
+	OperandString                        // string literal (lowered to a global)
+)
+
+// Operand is a use of a value (or a label) inside an instruction.
+type Operand struct {
+	Kind OperandKind
+	Imm  int64  // OperandConst
+	Name string // register/global/function/label name (no sigil)
+	Str  string // OperandString payload
+}
+
+// ConstOp returns an immediate operand.
+func ConstOp(v int64) Operand { return Operand{Kind: OperandConst, Imm: v} }
+
+// RegOp returns a virtual-register operand.
+func RegOp(name string) Operand { return Operand{Kind: OperandReg, Name: name} }
+
+// GlobalOp returns a global-variable operand.
+func GlobalOp(name string) Operand { return Operand{Kind: OperandGlobal, Name: name} }
+
+// FuncOp returns a function-reference operand.
+func FuncOp(name string) Operand { return Operand{Kind: OperandFunc, Name: name} }
+
+// LabelOp returns a basic-block label operand.
+func LabelOp(name string) Operand { return Operand{Kind: OperandLabel, Name: name} }
+
+// StringOp returns a string-literal operand.
+func StringOp(s string) Operand { return Operand{Kind: OperandString, Str: s} }
+
+// IsReg reports whether the operand is the named virtual register.
+func (o Operand) IsReg(name string) bool { return o.Kind == OperandReg && o.Name == name }
+
+func (o Operand) String() string {
+	switch o.Kind {
+	case OperandConst:
+		return fmt.Sprintf("%d", o.Imm)
+	case OperandReg:
+		return "%" + o.Name
+	case OperandGlobal:
+		return "@" + o.Name
+	case OperandFunc:
+		return "@" + o.Name
+	case OperandLabel:
+		return o.Name
+	case OperandString:
+		return fmt.Sprintf("%q", o.Str)
+	default:
+		return "<bad-operand>"
+	}
+}
+
+// Pos is a source position. Modules built with Builder get synthetic
+// positions (File = module name, increasing Line per instruction) so every
+// instruction is addressable in reports either way.
+type Pos struct {
+	File string
+	Line int
+}
+
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("line %d", p.Line)
+	}
+	return fmt.Sprintf("%s:%d", p.File, p.Line)
+}
+
+// PhiEdge is one incoming edge of a phi node.
+type PhiEdge struct {
+	Block string
+	Val   Operand
+}
+
+// Instr is a single IR instruction. Dst is the defined virtual register
+// ("" when the instruction defines nothing). The meaning of Args depends
+// on Op; accessor helpers below document the common shapes.
+type Instr struct {
+	Op   Op
+	Dst  string // defined register, "" if none
+	Bin  BinKind
+	Pred CmpPred
+	Args []Operand
+	Phis []PhiEdge
+	Pos  Pos
+
+	// Index is the instruction's position within its function's flattened
+	// instruction list; filled in by Module.Freeze. It uniquely identifies
+	// the instruction within the function and is the unit of breakpoints.
+	Index int
+	// Block and Fn are back-references filled in by Module.Freeze.
+	Block *Block
+	Fn    *Func
+}
+
+// Callee returns the callee operand of a call instruction.
+func (in *Instr) Callee() Operand { return in.Args[0] }
+
+// CallArgs returns the argument operands of a call instruction.
+func (in *Instr) CallArgs() []Operand { return in.Args[1:] }
+
+// IsCall reports whether the instruction is a call.
+func (in *Instr) IsCall() bool { return in.Op == OpCall }
+
+// IsBranch reports whether the instruction is a conditional branch.
+func (in *Instr) IsBranch() bool { return in.Op == OpBr }
+
+// IsTerminator reports whether the instruction ends a basic block.
+func (in *Instr) IsTerminator() bool {
+	return in.Op == OpBr || in.Op == OpJmp || in.Op == OpRet
+}
+
+// Uses returns the non-label operands the instruction reads.
+func (in *Instr) Uses() []Operand {
+	var uses []Operand
+	for _, a := range in.Args {
+		if a.Kind != OperandLabel {
+			uses = append(uses, a)
+		}
+	}
+	for _, pe := range in.Phis {
+		uses = append(uses, pe.Val)
+	}
+	return uses
+}
+
+// UsesReg reports whether the instruction reads the given virtual register.
+func (in *Instr) UsesReg(name string) bool {
+	for _, u := range in.Uses() {
+		if u.IsReg(name) {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the instruction in .oir syntax (without position).
+func (in *Instr) String() string {
+	var b strings.Builder
+	if in.Dst != "" {
+		fmt.Fprintf(&b, "%%%s = ", in.Dst)
+	}
+	switch in.Op {
+	case OpConst:
+		fmt.Fprintf(&b, "const %s", in.Args[0])
+	case OpLoad:
+		fmt.Fprintf(&b, "load %s", in.Args[0])
+	case OpStore:
+		fmt.Fprintf(&b, "store %s, %s", in.Args[0], in.Args[1])
+	case OpBin:
+		fmt.Fprintf(&b, "%s %s, %s", in.Bin, in.Args[0], in.Args[1])
+	case OpCmp:
+		fmt.Fprintf(&b, "icmp %s %s, %s", in.Pred, in.Args[0], in.Args[1])
+	case OpBr:
+		fmt.Fprintf(&b, "br %s, %s, %s", in.Args[0], in.Args[1], in.Args[2])
+	case OpJmp:
+		fmt.Fprintf(&b, "jmp %s", in.Args[0])
+	case OpPhi:
+		b.WriteString("phi ")
+		for i, pe := range in.Phis {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "[%s: %s]", pe.Block, pe.Val)
+		}
+	case OpCall:
+		fmt.Fprintf(&b, "call %s(", in.Args[0])
+		for i, a := range in.CallArgs() {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(a.String())
+		}
+		b.WriteString(")")
+	case OpRet:
+		if len(in.Args) == 0 {
+			b.WriteString("ret")
+		} else {
+			fmt.Fprintf(&b, "ret %s", in.Args[0])
+		}
+	case OpAlloca:
+		fmt.Fprintf(&b, "alloca %s", in.Args[0])
+	case OpGep:
+		fmt.Fprintf(&b, "gep %s, %s", in.Args[0], in.Args[1])
+	case OpAddrOf:
+		fmt.Fprintf(&b, "addr %s", in.Args[0])
+	case OpFunc:
+		fmt.Fprintf(&b, "func %s", in.Args[0])
+	default:
+		fmt.Fprintf(&b, "<bad op %d>", int(in.Op))
+	}
+	return b.String()
+}
+
+// Block is a basic block: a label plus a straight-line instruction list
+// ending in a terminator.
+type Block struct {
+	Name   string
+	Instrs []*Instr
+	Fn     *Func
+}
+
+// Terminator returns the block's final instruction, or nil when the block
+// is (still) empty.
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	last := b.Instrs[len(b.Instrs)-1]
+	if !last.IsTerminator() {
+		return nil
+	}
+	return last
+}
+
+// Succs returns the names of the block's successor blocks.
+func (b *Block) Succs() []string {
+	t := b.Terminator()
+	if t == nil {
+		return nil
+	}
+	switch t.Op {
+	case OpBr:
+		return []string{t.Args[1].Name, t.Args[2].Name}
+	case OpJmp:
+		return []string{t.Args[0].Name}
+	default:
+		return nil
+	}
+}
+
+// Func is an IR function.
+type Func struct {
+	Name   string
+	Params []string // parameter register names (without %)
+	Blocks []*Block
+
+	blockIdx map[string]*Block
+	flat     []*Instr // all instructions in block order; built by freeze
+	Mod      *Module
+}
+
+// Block returns the named basic block, or nil.
+func (f *Func) Block(name string) *Block {
+	return f.blockIdx[name]
+}
+
+// Entry returns the function's entry block (the first one).
+func (f *Func) Entry() *Block {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	return f.Blocks[0]
+}
+
+// Instrs returns all instructions in block order. Only valid after the
+// containing module has been frozen.
+func (f *Func) Instrs() []*Instr { return f.flat }
+
+// InstrAt returns the instruction with the given flat index, or nil.
+func (f *Func) InstrAt(idx int) *Instr {
+	if idx < 0 || idx >= len(f.flat) {
+		return nil
+	}
+	return f.flat[idx]
+}
+
+// NumInstrs returns the number of instructions in the function.
+func (f *Func) NumInstrs() int { return len(f.flat) }
+
+// Global is a module-level variable: Size words of mutable storage,
+// optionally initialized (Init applies to word 0 for scalars, or the whole
+// array when len(InitWords) > 0).
+type Global struct {
+	Name      string
+	Size      int // words; >= 1
+	Init      int64
+	InitWords []int64 // optional full initializer
+	// ElemType records the declared element type; defaults to TypeInt.
+	ElemType Type
+}
+
+// Module is a compilation unit: globals plus functions.
+type Module struct {
+	Name    string
+	Globals []*Global
+	Funcs   []*Func
+
+	funcIdx   map[string]*Func
+	globalIdx map[string]*Global
+	frozen    bool
+}
+
+// NewModule returns an empty module with the given name.
+func NewModule(name string) *Module {
+	return &Module{
+		Name:      name,
+		funcIdx:   make(map[string]*Func),
+		globalIdx: make(map[string]*Global),
+	}
+}
+
+// Func returns the named function, or nil.
+func (m *Module) Func(name string) *Func { return m.funcIdx[name] }
+
+// Global returns the named global, or nil.
+func (m *Module) Global(name string) *Global { return m.globalIdx[name] }
+
+// AddGlobal appends a global to the module.
+func (m *Module) AddGlobal(g *Global) error {
+	if m.frozen {
+		return fmt.Errorf("module %s: add global %s: module is frozen", m.Name, g.Name)
+	}
+	if _, dup := m.globalIdx[g.Name]; dup {
+		return fmt.Errorf("module %s: duplicate global @%s", m.Name, g.Name)
+	}
+	if g.Size <= 0 {
+		g.Size = 1
+	}
+	if g.ElemType == 0 {
+		g.ElemType = TypeInt
+	}
+	m.Globals = append(m.Globals, g)
+	m.globalIdx[g.Name] = g
+	return nil
+}
+
+// AddFunc appends a function to the module.
+func (m *Module) AddFunc(f *Func) error {
+	if m.frozen {
+		return fmt.Errorf("module %s: add func %s: module is frozen", m.Name, f.Name)
+	}
+	if _, dup := m.funcIdx[f.Name]; dup {
+		return fmt.Errorf("module %s: duplicate function @%s", m.Name, f.Name)
+	}
+	m.Funcs = append(m.Funcs, f)
+	m.funcIdx[f.Name] = f
+	return nil
+}
+
+// Frozen reports whether Freeze has completed on this module.
+func (m *Module) Frozen() bool { return m.frozen }
+
+// Freeze finalizes the module: it indexes blocks, assigns flat instruction
+// indices and back-references, and verifies well-formedness. Modules must
+// be frozen before they are interpreted or analyzed.
+func (m *Module) Freeze() error {
+	if m.frozen {
+		return nil
+	}
+	for _, f := range m.Funcs {
+		f.Mod = m
+		f.blockIdx = make(map[string]*Block, len(f.Blocks))
+		f.flat = f.flat[:0]
+		for _, b := range f.Blocks {
+			if _, dup := f.blockIdx[b.Name]; dup {
+				return fmt.Errorf("func @%s: duplicate block %s", f.Name, b.Name)
+			}
+			f.blockIdx[b.Name] = b
+			b.Fn = f
+		}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				in.Index = len(f.flat)
+				in.Block = b
+				in.Fn = f
+				f.flat = append(f.flat, in)
+			}
+		}
+	}
+	if err := m.verify(); err != nil {
+		return err
+	}
+	m.frozen = true
+	return nil
+}
+
+// MustFreeze is Freeze but panics on error; intended for statically known
+// modules (workload models, tests) where a malformed module is a bug.
+func (m *Module) MustFreeze() *Module {
+	if err := m.Freeze(); err != nil {
+		panic(fmt.Sprintf("ir: freeze %s: %v", m.Name, err))
+	}
+	return m
+}

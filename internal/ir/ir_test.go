@@ -1,0 +1,296 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleSrc = `
+module sample
+
+global @dying = 0
+global @buf [16]
+global @msg = "hi"
+
+func @main() {
+entry:
+  %x = const 41
+  %y = add %x, 1
+  %c = icmp eq %y, 42
+  br %c, yes, no
+yes:
+  %p = addr @buf
+  store %y, %p
+  %v = load %p
+  call @print(%v)
+  ret %v
+no:
+  jmp done
+done:
+  %z = phi [yes: %y], [no: 0]
+  ret %z
+}
+`
+
+func mustParse(t *testing.T, src string) *Module {
+	t.Helper()
+	m, err := Parse("test.oir", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return m
+}
+
+func TestParseSample(t *testing.T) {
+	m := mustParse(t, sampleSrc)
+	if m.Name != "sample" {
+		t.Errorf("module name = %q, want sample", m.Name)
+	}
+	if len(m.Globals) != 3 {
+		t.Fatalf("got %d globals, want 3", len(m.Globals))
+	}
+	if g := m.Global("buf"); g == nil || g.Size != 16 {
+		t.Errorf("global buf = %+v, want size 16", g)
+	}
+	if g := m.Global("msg"); g == nil || WordsToString(g.InitWords) != "hi" {
+		t.Errorf("global msg = %+v, want string \"hi\"", g)
+	}
+	f := m.Func("main")
+	if f == nil {
+		t.Fatal("missing func main")
+	}
+	if len(f.Blocks) != 4 {
+		t.Fatalf("got %d blocks, want 4", len(f.Blocks))
+	}
+	if n := f.NumInstrs(); n != 12 {
+		t.Errorf("got %d instrs, want 12", n)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"unknown op", "func @f() {\nentry:\n  bogus 1\n  ret\n}", "unknown opcode"},
+		{"undefined reg", "func @f() {\nentry:\n  ret %nope\n}", "undefined register"},
+		{"undeclared global", "func @f() {\nentry:\n  %x = load @nope\n  ret\n}", "undeclared global"},
+		{"bad branch target", "func @f() {\nentry:\n  %c = const 1\n  br %c, a, b\n}", "unknown block"},
+		{"terminator mid-block", "func @f() {\nentry:\n  ret\n  ret\n}", "mid-block"},
+		{"no terminator", "func @f() {\nentry:\n  %x = const 1\n}", "terminator"},
+		{"double def", "func @f() {\nentry:\n  %x = const 1\n  %x = const 2\n  ret\n}", "defined twice"},
+		{"missing brace", "func @f() {\nentry:\n  ret\n", "missing closing"},
+		{"empty func", "func @f() {\n}", "no blocks"},
+		{"dup global", "global @g\nglobal @g", "duplicate global"},
+		{"phi bad block", "func @f() {\nentry:\n  %x = phi [zzz: 1]\n  ret\n}", "unknown block"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Parse("t.oir", tt.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", tt.want)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error %q does not contain %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	m := mustParse(t, sampleSrc)
+	text := m.Format()
+	m2, err := Parse("test.oir", text)
+	if err != nil {
+		t.Fatalf("reparse formatted output: %v\n%s", err, text)
+	}
+	if m2.Format() != text {
+		t.Errorf("format not stable:\nfirst:\n%s\nsecond:\n%s", text, m2.Format())
+	}
+	if len(m2.Funcs) != len(m.Funcs) || len(m2.Globals) != len(m.Globals) {
+		t.Errorf("round trip changed structure")
+	}
+}
+
+func TestBuilderEquivalence(t *testing.T) {
+	b := NewBuilder("built")
+	b.Global("g", 1, 7)
+	f := b.Func("main")
+	f.Block("entry")
+	x := f.Load(GlobalOp("g"))
+	y := f.Add(x, ConstOp(1))
+	f.Store(y, GlobalOp("g"))
+	f.Ret(y)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	fn := m.Func("main")
+	if fn.NumInstrs() != 4 {
+		t.Fatalf("got %d instrs, want 4", fn.NumInstrs())
+	}
+	for i, in := range fn.Instrs() {
+		if in.Index != i {
+			t.Errorf("instr %d has Index %d", i, in.Index)
+		}
+		if in.Pos.Line == 0 {
+			t.Errorf("instr %d missing synthetic position", i)
+		}
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder("bad")
+	f := b.Func("f")
+	f.Ret() // emit outside a block
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "outside a block") {
+		t.Errorf("expected outside-a-block error, got %v", err)
+	}
+}
+
+const loopSrc = `
+func @f(%n) {
+entry:
+  jmp head
+head:
+  %i = phi [entry: 0], [latch: %i2]
+  %c = icmp lt %i, %n
+  br %c, body, exit
+body:
+  %q = icmp eq %i, 3
+  br %q, early, latch
+early:
+  ret %i
+latch:
+  %i2 = add %i, 1
+  jmp head
+exit:
+  ret 0
+}
+`
+
+func TestCFGLoops(t *testing.T) {
+	m := mustParse(t, loopSrc)
+	f := m.Func("f")
+	c := BuildCFG(f)
+	if len(c.Loops) != 1 {
+		t.Fatalf("got %d loops, want 1", len(c.Loops))
+	}
+	l := c.Loops[0]
+	if l.Header != "head" {
+		t.Errorf("loop header = %s, want head", l.Header)
+	}
+	for _, blk := range []string{"head", "body", "latch"} {
+		if !l.Contains(blk) {
+			t.Errorf("loop should contain %s", blk)
+		}
+	}
+	if l.Contains("exit") || l.Contains("entry") || l.Contains("early") {
+		t.Errorf("loop contains non-body block: %v", l.Blocks)
+	}
+	exits := l.ExitBranches(f)
+	if len(exits) != 2 {
+		t.Fatalf("got %d exit branches, want 2 (head and body)", len(exits))
+	}
+}
+
+func TestCFGDominators(t *testing.T) {
+	m := mustParse(t, loopSrc)
+	c := BuildCFG(m.Func("f"))
+	wants := map[string]string{
+		"entry": "",
+		"head":  "entry",
+		"body":  "head",
+		"early": "body",
+		"latch": "body",
+		"exit":  "head",
+	}
+	for blk, want := range wants {
+		if got := c.Idom[blk]; got != want {
+			t.Errorf("idom[%s] = %q, want %q", blk, got, want)
+		}
+	}
+}
+
+func TestCFGCtrlDeps(t *testing.T) {
+	m := mustParse(t, loopSrc)
+	f := m.Func("f")
+	c := BuildCFG(f)
+
+	findBr := func(block string) *Instr {
+		t.Helper()
+		in := f.Block(block).Terminator()
+		if in == nil || in.Op != OpBr {
+			t.Fatalf("block %s has no conditional branch", block)
+		}
+		return in
+	}
+	headBr := findBr("head")
+	bodyBr := findBr("body")
+	earlyRet := f.Block("early").Instrs[0]
+	latchAdd := f.Block("latch").Instrs[0]
+
+	if !c.IsCtrlDependent(earlyRet, bodyBr) {
+		t.Errorf("early ret should be control dependent on body branch")
+	}
+	if !c.IsCtrlDependent(latchAdd, bodyBr) {
+		t.Errorf("latch add should be control dependent on body branch")
+	}
+	if !c.IsCtrlDependent(bodyBr, headBr) {
+		t.Errorf("body branch should be control dependent on head branch")
+	}
+	// Transitivity: early depends on head through body.
+	if !c.IsCtrlDependent(earlyRet, headBr) {
+		t.Errorf("early ret should be transitively control dependent on head branch")
+	}
+	entryJmp := f.Block("entry").Instrs[0]
+	if c.IsCtrlDependent(entryJmp, headBr) {
+		t.Errorf("entry jmp must not be control dependent on head branch")
+	}
+}
+
+func TestStringWordsRoundTrip(t *testing.T) {
+	for _, s := range []string{"", "a", "hello world", "FLUSH PRIVILEGES;"} {
+		w := StringToWords(s)
+		if got := WordsToString(w); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+		if w[len(w)-1] != 0 {
+			t.Errorf("missing NUL terminator for %q", s)
+		}
+	}
+}
+
+func TestInstrHelpers(t *testing.T) {
+	m := mustParse(t, sampleSrc)
+	f := m.Func("main")
+	var call *Instr
+	for _, in := range f.Instrs() {
+		if in.IsCall() {
+			call = in
+		}
+	}
+	if call == nil {
+		t.Fatal("no call found")
+	}
+	if call.Callee().Name != "print" {
+		t.Errorf("callee = %s, want print", call.Callee().Name)
+	}
+	if len(call.CallArgs()) != 1 {
+		t.Errorf("got %d call args, want 1", len(call.CallArgs()))
+	}
+	if !call.UsesReg("v") {
+		t.Errorf("call should use %%v")
+	}
+}
+
+func TestFrozenModuleRejectsAdds(t *testing.T) {
+	m := mustParse(t, sampleSrc)
+	if err := m.AddGlobal(&Global{Name: "late", Size: 1}); err == nil {
+		t.Error("AddGlobal after freeze should fail")
+	}
+	if err := m.AddFunc(&Func{Name: "late"}); err == nil {
+		t.Error("AddFunc after freeze should fail")
+	}
+}

@@ -1,0 +1,76 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders the module in .oir syntax. The output parses back (Parse)
+// into a structurally identical module, which the round-trip property test
+// exercises.
+func (m *Module) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s\n\n", m.Name)
+	for _, g := range m.Globals {
+		switch {
+		case len(g.InitWords) > 0 && looksLikeString(g.InitWords):
+			fmt.Fprintf(&b, "global @%s = %q\n", g.Name, WordsToString(g.InitWords))
+		case g.Size > 1:
+			fmt.Fprintf(&b, "global @%s [%d]\n", g.Name, g.Size)
+		case g.Init != 0:
+			fmt.Fprintf(&b, "global @%s = %d\n", g.Name, g.Init)
+		default:
+			fmt.Fprintf(&b, "global @%s\n", g.Name)
+		}
+	}
+	if len(m.Globals) > 0 {
+		b.WriteString("\n")
+	}
+	for i, f := range m.Funcs {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		params := make([]string, len(f.Params))
+		for j, p := range f.Params {
+			params[j] = "%" + p
+		}
+		fmt.Fprintf(&b, "func @%s(%s) {\n", f.Name, strings.Join(params, ", "))
+		for _, blk := range f.Blocks {
+			fmt.Fprintf(&b, "%s:\n", blk.Name)
+			for _, in := range blk.Instrs {
+				fmt.Fprintf(&b, "  %s\n", in.String())
+			}
+		}
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+// looksLikeString reports whether the word initializer is a plausible
+// NUL-terminated printable string, so Format can emit it as a literal.
+func looksLikeString(words []int64) bool {
+	if len(words) < 2 || words[len(words)-1] != 0 {
+		return false
+	}
+	for _, w := range words[:len(words)-1] {
+		if w < 32 || w > 126 {
+			return false
+		}
+	}
+	return true
+}
+
+// Loc renders an instruction's report location the way the paper's
+// Figure 5 does: "(file:line)".
+func (in *Instr) Loc() string {
+	return fmt.Sprintf("(%s:%d)", in.Pos.File, in.Pos.Line)
+}
+
+// FullName renders "@fn#idx op" for debugging and report chains.
+func (in *Instr) FullName() string {
+	fn := "?"
+	if in.Fn != nil {
+		fn = in.Fn.Name
+	}
+	return fmt.Sprintf("@%s#%d: %s %s", fn, in.Index, in.String(), in.Loc())
+}

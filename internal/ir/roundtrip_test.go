@@ -1,0 +1,96 @@
+package ir
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// genModule builds a random-but-valid module from a byte script: every
+// byte drives one construction decision. This keeps generation total (no
+// rejected candidates) so quick.Check explores real variety.
+func genModule(script []byte) *Module {
+	b := NewBuilder("gen")
+	next := func(i int) byte {
+		if len(script) == 0 {
+			return 0
+		}
+		return script[i%len(script)]
+	}
+	nGlobals := int(next(0))%4 + 1
+	for g := 0; g < nGlobals; g++ {
+		b.Global(fmt.Sprintf("g%d", g), int(next(g+1))%8+1, int64(next(g+2)))
+	}
+	nFuncs := int(next(5))%3 + 1
+	for fi := 0; fi < nFuncs; fi++ {
+		f := b.Func(fmt.Sprintf("f%d", fi), "p0")
+		f.Block("entry")
+		var last Operand = RegOp("p0")
+		nInstr := int(next(6+fi))%6 + 1
+		for k := 0; k < nInstr; k++ {
+			switch next(7+fi*7+k) % 5 {
+			case 0:
+				last = f.Const(int64(next(8 + k)))
+			case 1:
+				last = f.Load(GlobalOp(fmt.Sprintf("g%d", int(next(9+k))%nGlobals)))
+			case 2:
+				f.Store(last, GlobalOp(fmt.Sprintf("g%d", int(next(10+k))%nGlobals)))
+			case 3:
+				last = f.Add(last, ConstOp(int64(next(11+k))%16))
+			case 4:
+				last = f.Cmp(CmpLT, last, ConstOp(int64(next(12+k))%16))
+			}
+		}
+		f.Ret(last)
+	}
+	// main ties the functions together so every function is referenced.
+	m := b.Func("main")
+	m.Block("entry")
+	for fi := 0; fi < nFuncs; fi++ {
+		m.CallVoid(FuncOp(fmt.Sprintf("f%d", fi)), ConstOp(int64(fi)))
+	}
+	m.Ret()
+	return b.MustBuild()
+}
+
+// TestFormatParseRoundTripProperty: Format -> Parse -> Format is a fixed
+// point for arbitrary generated modules.
+func TestFormatParseRoundTripProperty(t *testing.T) {
+	f := func(script []byte) bool {
+		mod := genModule(script)
+		text := mod.Format()
+		re, err := Parse("gen.oir", text)
+		if err != nil {
+			t.Logf("reparse failed: %v\n%s", err, text)
+			return false
+		}
+		return re.Format() == text
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRoundTripPreservesStructure: function/block/instruction counts
+// survive the round trip.
+func TestRoundTripPreservesStructure(t *testing.T) {
+	f := func(script []byte) bool {
+		mod := genModule(script)
+		re, err := Parse("gen.oir", mod.Format())
+		if err != nil {
+			return false
+		}
+		if len(re.Funcs) != len(mod.Funcs) || len(re.Globals) != len(mod.Globals) {
+			return false
+		}
+		for i, fn := range mod.Funcs {
+			if re.Funcs[i].NumInstrs() != fn.NumInstrs() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

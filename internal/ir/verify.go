@@ -1,0 +1,153 @@
+package ir
+
+import (
+	"fmt"
+)
+
+// verify checks structural well-formedness of the module. It is invoked by
+// Freeze; the checks mirror what LLVM's verifier would reject for the
+// subset of IR we model:
+//
+//   - every block ends with exactly one terminator, with none mid-block
+//   - branch targets name existing blocks
+//   - register operands are defined somewhere in the function (the IR is
+//     SSA at the function level: a register is defined at most once)
+//   - global and function operands refer to declared globals/functions or
+//     to known intrinsics (intrinsics are resolved by the interpreter, so
+//     unknown names are only rejected when they are clearly not intrinsic
+//     style — the verifier accepts any @name callee to keep the module
+//     layer independent of the runtime's intrinsic table)
+//   - phi nodes reference existing predecessor blocks
+func (m *Module) verify() error {
+	for _, f := range m.Funcs {
+		if err := m.verifyFunc(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Module) verifyFunc(f *Func) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("func @%s: no blocks", f.Name)
+	}
+	defs := make(map[string]bool, len(f.flat))
+	for _, p := range f.Params {
+		if defs[p] {
+			return fmt.Errorf("func @%s: duplicate parameter %%%s", f.Name, p)
+		}
+		defs[p] = true
+	}
+	for _, in := range f.flat {
+		if in.Dst == "" {
+			continue
+		}
+		if defs[in.Dst] {
+			return fmt.Errorf("func @%s: %s: register %%%s defined twice (not SSA)",
+				f.Name, in.Pos, in.Dst)
+		}
+		defs[in.Dst] = true
+	}
+
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("func @%s: block %s is empty", f.Name, b.Name)
+		}
+		for i, in := range b.Instrs {
+			isLast := i == len(b.Instrs)-1
+			if in.IsTerminator() != isLast {
+				if isLast {
+					return fmt.Errorf("func @%s: block %s does not end with a terminator", f.Name, b.Name)
+				}
+				return fmt.Errorf("func @%s: block %s: terminator %q mid-block at %s",
+					f.Name, b.Name, in.String(), in.Pos)
+			}
+			if err := m.verifyInstr(f, b, in, defs); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (m *Module) verifyInstr(f *Func, b *Block, in *Instr, defs map[string]bool) error {
+	badArity := func(want int) error {
+		return fmt.Errorf("func @%s: %s: %s expects %d operands, got %d",
+			f.Name, in.Pos, in.Op, want, len(in.Args))
+	}
+	switch in.Op {
+	case OpConst, OpLoad, OpJmp, OpAlloca, OpAddrOf, OpFunc:
+		if len(in.Args) != 1 {
+			return badArity(1)
+		}
+	case OpStore, OpBin, OpCmp, OpGep:
+		if len(in.Args) != 2 {
+			return badArity(2)
+		}
+	case OpBr:
+		if len(in.Args) != 3 {
+			return badArity(3)
+		}
+	case OpRet:
+		if len(in.Args) > 1 {
+			return fmt.Errorf("func @%s: %s: ret takes at most one operand", f.Name, in.Pos)
+		}
+	case OpCall:
+		if len(in.Args) < 1 {
+			return badArity(1)
+		}
+	case OpPhi:
+		if len(in.Phis) == 0 {
+			return fmt.Errorf("func @%s: %s: phi with no edges", f.Name, in.Pos)
+		}
+	default:
+		return fmt.Errorf("func @%s: %s: unknown opcode %d", f.Name, in.Pos, int(in.Op))
+	}
+
+	for _, a := range in.Args {
+		if err := m.verifyOperand(f, in, a, defs); err != nil {
+			return err
+		}
+	}
+	for _, pe := range in.Phis {
+		if f.Block(pe.Block) == nil {
+			return fmt.Errorf("func @%s: %s: phi references unknown block %s", f.Name, in.Pos, pe.Block)
+		}
+		if err := m.verifyOperand(f, in, pe.Val, defs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Module) verifyOperand(f *Func, in *Instr, a Operand, defs map[string]bool) error {
+	switch a.Kind {
+	case OperandReg:
+		if !defs[a.Name] {
+			return fmt.Errorf("func @%s: %s: use of undefined register %%%s", f.Name, in.Pos, a.Name)
+		}
+	case OperandGlobal:
+		// "@name" may denote a global or (in argument positions, e.g.
+		// call @spawn(@worker)) a function reference. Reject only names
+		// that are neither declared globals nor module functions nor
+		// plausibly runtime intrinsics (lowercase identifiers are allowed
+		// through so the module layer stays independent of the runtime's
+		// intrinsic table; the interpreter faults on unknown names).
+		if m.globalIdx[a.Name] == nil && m.funcIdx[a.Name] == nil && !in.IsCall() {
+			return fmt.Errorf("func @%s: %s: use of undeclared global @%s", f.Name, in.Pos, a.Name)
+		}
+	case OperandLabel:
+		if f.blockIdx[a.Name] == nil {
+			return fmt.Errorf("func @%s: %s: branch to unknown block %s", f.Name, in.Pos, a.Name)
+		}
+	case OperandFunc:
+		// Callee names may resolve to module functions or to runtime
+		// intrinsics; the module layer accepts both. OpFunc references,
+		// however, must name a module function or intrinsic-style name.
+	case OperandConst, OperandString:
+		// Always fine.
+	default:
+		return fmt.Errorf("func @%s: %s: bad operand kind %d", f.Name, in.Pos, int(a.Kind))
+	}
+	return nil
+}

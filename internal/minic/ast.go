@@ -1,0 +1,166 @@
+package minic
+
+// The AST. Nodes carry the source line for diagnostics and for IR
+// positions (so OWL reports on minic programs point at minic lines).
+
+// File is a parsed compilation unit.
+type File struct {
+	Name    string
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// GlobalDecl declares a global scalar, array, or string.
+type GlobalDecl struct {
+	Name string
+	// Size > 1 for arrays.
+	Size int
+	// Init for scalars; StrInit for string globals.
+	Init    int64
+	StrInit string
+	IsStr   bool
+	Line    int
+}
+
+// FuncDecl declares a function. ReturnsVoid is cosmetic (everything is a
+// word); it suppresses the "missing return" check.
+type FuncDecl struct {
+	Name        string
+	Params      []string
+	Body        *BlockStmt
+	ReturnsVoid bool
+	Line        int
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// BlockStmt is { ... }.
+type BlockStmt struct {
+	Stmts []Stmt
+	Line  int
+}
+
+// VarDecl declares a local: int x; int x = expr; or int buf[N];
+type VarDecl struct {
+	Name string
+	Init Expr // nil when absent
+	// Size > 0 declares a local array of Size words (no initializer).
+	Size int
+	Line int
+}
+
+// AssignStmt is lvalue = expr;
+type AssignStmt struct {
+	LHS  Expr // Ident, Index, or Deref
+	RHS  Expr
+	Line int
+}
+
+// IfStmt is if (cond) block [else block|if].
+type IfStmt struct {
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt // *BlockStmt, *IfStmt, or nil
+	Line int
+}
+
+// WhileStmt is while (cond) block.
+type WhileStmt struct {
+	Cond Expr
+	Body *BlockStmt
+	Line int
+}
+
+// ReturnStmt is return [expr];
+type ReturnStmt struct {
+	Value Expr // nil for bare return
+	Line  int
+}
+
+// BreakStmt / ContinueStmt control the innermost loop.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt jumps to the loop head.
+type ContinueStmt struct{ Line int }
+
+// ExprStmt evaluates an expression for effect (calls).
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+func (*BlockStmt) stmtNode()    {}
+func (*VarDecl) stmtNode()      {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()     {}
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// NumLit is an integer literal.
+type NumLit struct {
+	Value int64
+	Line  int
+}
+
+// StrLit is a string literal (call arguments only).
+type StrLit struct {
+	Value string
+	Line  int
+}
+
+// Ident references a local, parameter, or global.
+type Ident struct {
+	Name string
+	Line int
+}
+
+// Index is base[idx]: base names a global array or a pointer variable.
+type Index struct {
+	Base *Ident
+	Idx  Expr
+	Line int
+}
+
+// Unary is -x, !x, *p, or &x.
+type Unary struct {
+	Op   string // "-", "!", "*", "&"
+	X    Expr
+	Line int
+}
+
+// Binary is x op y. && and || short-circuit.
+type Binary struct {
+	Op   string
+	X, Y Expr
+	Line int
+}
+
+// Call is f(args) — a module function or a runtime intrinsic.
+type Call struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+// Spawn is spawn f(args), returning the new thread id.
+type Spawn struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+func (*NumLit) exprNode() {}
+func (*StrLit) exprNode() {}
+func (*Ident) exprNode()  {}
+func (*Index) exprNode()  {}
+func (*Unary) exprNode()  {}
+func (*Binary) exprNode() {}
+func (*Call) exprNode()   {}
+func (*Spawn) exprNode()  {}

@@ -1,0 +1,607 @@
+package minic
+
+import (
+	"fmt"
+
+	"github.com/conanalysis/owl/internal/interp"
+	"github.com/conanalysis/owl/internal/ir"
+)
+
+// Compile compiles minic source to a frozen OWL IR module. Instruction
+// positions point at the minic source lines, so the whole OWL pipeline —
+// race reports, Figure-5 hints, verification outcomes — reports against
+// the program the user wrote.
+func Compile(filename, src string) (*ir.Module, error) {
+	toks, err := lex(filename, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{file: filename, toks: toks}
+	file, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	return (&codegen{file: file, src: filename}).gen()
+}
+
+// MustCompile is Compile but panics on error (static test programs).
+func MustCompile(filename, src string) *ir.Module {
+	m, err := Compile(filename, src)
+	if err != nil {
+		panic(fmt.Sprintf("minic: %v", err))
+	}
+	return m
+}
+
+type genError struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *genError) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg)
+}
+
+type codegen struct {
+	file *File
+	src  string
+	b    *ir.Builder
+
+	globals map[string]*GlobalDecl
+	funcs   map[string]*FuncDecl
+
+	// per-function state
+	fb         *ir.FuncBuilder
+	locals     map[string]localInfo // name -> alloca slot
+	params     map[string]bool
+	terminated bool
+	blockSeq   int
+	loopStack  []loopLabels
+}
+
+type loopLabels struct{ head, end string }
+
+// localInfo describes one local: the alloca operand, and whether it is an
+// array (referenced by address, like C array decay) or a scalar slot
+// (referenced by load).
+type localInfo struct {
+	slot    ir.Operand
+	isArray bool
+}
+
+func (g *codegen) errf(line int, format string, args ...interface{}) error {
+	return &genError{File: g.src, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (g *codegen) gen() (*ir.Module, error) {
+	g.b = ir.NewBuilder(moduleName(g.src))
+	g.globals = make(map[string]*GlobalDecl)
+	g.funcs = make(map[string]*FuncDecl)
+
+	for _, gd := range g.file.Globals {
+		if g.globals[gd.Name] != nil {
+			return nil, g.errf(gd.Line, "global %q redeclared", gd.Name)
+		}
+		g.globals[gd.Name] = gd
+		if gd.IsStr {
+			g.b.GlobalWords(gd.Name, ir.StringToWords(gd.StrInit))
+		} else {
+			g.b.Global(gd.Name, gd.Size, gd.Init)
+		}
+	}
+	for _, fd := range g.file.Funcs {
+		if g.funcs[fd.Name] != nil {
+			return nil, g.errf(fd.Line, "function %q redeclared", fd.Name)
+		}
+		if g.globals[fd.Name] != nil {
+			return nil, g.errf(fd.Line, "%q already declared as a global", fd.Name)
+		}
+		g.funcs[fd.Name] = fd
+	}
+	for _, fd := range g.file.Funcs {
+		if err := g.genFunc(fd); err != nil {
+			return nil, err
+		}
+	}
+	mod, err := g.b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("minic: internal codegen error: %w", err)
+	}
+	return mod, nil
+}
+
+func moduleName(src string) string {
+	name := src
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '/' {
+			name = name[i+1:]
+			break
+		}
+	}
+	for i := 0; i < len(name); i++ {
+		if name[i] == '.' {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func (g *codegen) at(line int) { g.b.SetPos(g.src, line) }
+
+func (g *codegen) newBlock(prefix string) string {
+	g.blockSeq++
+	return fmt.Sprintf("%s.%d", prefix, g.blockSeq)
+}
+
+// startBlock switches emission to a (new) block and clears terminated.
+func (g *codegen) startBlock(name string) {
+	g.fb.Block(name)
+	g.terminated = false
+}
+
+func (g *codegen) genFunc(fd *FuncDecl) error {
+	g.fb = g.b.Func(fd.Name, fd.Params...)
+	g.locals = make(map[string]localInfo)
+	g.params = make(map[string]bool)
+	g.terminated = false
+	g.loopStack = nil
+	g.startBlock("entry")
+	g.at(fd.Line)
+
+	// Parameters become mutable slots (clang -O0 style) so they behave
+	// like locals under assignment.
+	for _, pn := range fd.Params {
+		if _, dup := g.locals[pn]; dup {
+			return g.errf(fd.Line, "parameter %q repeated", pn)
+		}
+		slot := g.fb.Alloca(1)
+		g.fb.Store(ir.RegOp(pn), slot)
+		g.locals[pn] = localInfo{slot: slot}
+		g.params[pn] = true
+	}
+
+	if err := g.genBlock(fd.Body); err != nil {
+		return err
+	}
+	if !g.terminated {
+		g.at(fd.Line)
+		g.fb.Ret(ir.ConstOp(0))
+		g.terminated = true
+	}
+	return nil
+}
+
+func (g *codegen) genBlock(b *BlockStmt) error {
+	for _, s := range b.Stmts {
+		if g.terminated {
+			// Unreachable code after return/break: give it its own block
+			// so the IR stays well formed.
+			g.startBlock(g.newBlock("dead"))
+		}
+		if err := g.genStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *codegen) genStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *BlockStmt:
+		return g.genBlock(st)
+
+	case *VarDecl:
+		g.at(st.Line)
+		if _, dup := g.locals[st.Name]; dup {
+			return g.errf(st.Line, "local %q redeclared", st.Name)
+		}
+		size := int64(1)
+		if st.Size > 0 {
+			size = int64(st.Size)
+		}
+		slot := g.fb.Alloca(size)
+		g.locals[st.Name] = localInfo{slot: slot, isArray: st.Size > 0}
+		if st.Init != nil {
+			v, err := g.genExpr(st.Init)
+			if err != nil {
+				return err
+			}
+			g.at(st.Line)
+			g.fb.Store(v, slot)
+		}
+		return nil
+
+	case *AssignStmt:
+		v, err := g.genExpr(st.RHS)
+		if err != nil {
+			return err
+		}
+		return g.genStore(st.LHS, v, st.Line)
+
+	case *IfStmt:
+		cond, err := g.genExpr(st.Cond)
+		if err != nil {
+			return err
+		}
+		thenB := g.newBlock("if.then")
+		elseB := g.newBlock("if.else")
+		endB := g.newBlock("if.end")
+		g.at(st.Line)
+		if st.Else != nil {
+			g.fb.Br(cond, thenB, elseB)
+		} else {
+			g.fb.Br(cond, thenB, endB)
+		}
+		g.startBlock(thenB)
+		if err := g.genBlock(st.Then); err != nil {
+			return err
+		}
+		thenDone := g.terminated
+		if !thenDone {
+			g.at(st.Line)
+			g.fb.Jmp(endB)
+		}
+		elseDone := true
+		if st.Else != nil {
+			g.startBlock(elseB)
+			if err := g.genStmt(st.Else); err != nil {
+				return err
+			}
+			elseDone = g.terminated
+			if !elseDone {
+				g.at(st.Line)
+				g.fb.Jmp(endB)
+			}
+		} else {
+			elseDone = false
+		}
+		if thenDone && elseDone {
+			// Both arms left; the end block is never entered, but later
+			// statements still need somewhere well-formed to land.
+			g.startBlock(endB)
+			g.terminated = false
+			return nil
+		}
+		g.startBlock(endB)
+		return nil
+
+	case *WhileStmt:
+		headB := g.newBlock("while.head")
+		bodyB := g.newBlock("while.body")
+		endB := g.newBlock("while.end")
+		g.at(st.Line)
+		g.fb.Jmp(headB)
+		g.startBlock(headB)
+		cond, err := g.genExpr(st.Cond)
+		if err != nil {
+			return err
+		}
+		g.at(st.Line)
+		g.fb.Br(cond, bodyB, endB)
+		g.startBlock(bodyB)
+		g.loopStack = append(g.loopStack, loopLabels{head: headB, end: endB})
+		if err := g.genBlock(st.Body); err != nil {
+			return err
+		}
+		g.loopStack = g.loopStack[:len(g.loopStack)-1]
+		if !g.terminated {
+			g.at(st.Line)
+			g.fb.Jmp(headB)
+		}
+		g.startBlock(endB)
+		return nil
+
+	case *ReturnStmt:
+		val := ir.ConstOp(0)
+		if st.Value != nil {
+			v, err := g.genExpr(st.Value)
+			if err != nil {
+				return err
+			}
+			val = v
+		}
+		g.at(st.Line)
+		g.fb.Ret(val)
+		g.terminated = true
+		return nil
+
+	case *BreakStmt:
+		if len(g.loopStack) == 0 {
+			return g.errf(st.Line, "break outside a loop")
+		}
+		g.at(st.Line)
+		g.fb.Jmp(g.loopStack[len(g.loopStack)-1].end)
+		g.terminated = true
+		return nil
+
+	case *ContinueStmt:
+		if len(g.loopStack) == 0 {
+			return g.errf(st.Line, "continue outside a loop")
+		}
+		g.at(st.Line)
+		g.fb.Jmp(g.loopStack[len(g.loopStack)-1].head)
+		g.terminated = true
+		return nil
+
+	case *ExprStmt:
+		_, err := g.genExpr(st.X)
+		return err
+
+	default:
+		return g.errf(0, "unknown statement %T", s)
+	}
+}
+
+// genStore assigns v to the lvalue.
+func (g *codegen) genStore(lhs Expr, v ir.Operand, line int) error {
+	switch lv := lhs.(type) {
+	case *Ident:
+		if li, ok := g.locals[lv.Name]; ok {
+			if li.isArray {
+				return g.errf(line, "cannot assign whole array %q", lv.Name)
+			}
+			g.at(line)
+			g.fb.Store(v, li.slot)
+			return nil
+		}
+		if gd, ok := g.globals[lv.Name]; ok {
+			if gd.Size > 1 || gd.IsStr {
+				return g.errf(line, "cannot assign whole array %q", lv.Name)
+			}
+			g.at(line)
+			g.fb.Store(v, ir.GlobalOp(lv.Name))
+			return nil
+		}
+		return g.errf(line, "assignment to undeclared %q", lv.Name)
+	case *Index:
+		addr, err := g.genElemAddr(lv)
+		if err != nil {
+			return err
+		}
+		g.at(line)
+		g.fb.Store(v, addr)
+		return nil
+	case *Unary:
+		if lv.Op != "*" {
+			return g.errf(line, "cannot assign to %s-expression", lv.Op)
+		}
+		addr, err := g.genExpr(lv.X)
+		if err != nil {
+			return err
+		}
+		g.at(line)
+		g.fb.Store(v, addr)
+		return nil
+	default:
+		return g.errf(line, "not an lvalue")
+	}
+}
+
+// genElemAddr computes &base[idx].
+func (g *codegen) genElemAddr(ix *Index) (ir.Operand, error) {
+	base, err := g.genBase(ix.Base)
+	if err != nil {
+		return ir.Operand{}, err
+	}
+	idx, err := g.genExpr(ix.Idx)
+	if err != nil {
+		return ir.Operand{}, err
+	}
+	g.at(ix.Line)
+	return g.fb.Gep(base, idx), nil
+}
+
+// genBase resolves an identifier used as a pointer base: global arrays
+// decay to their address, everything else evaluates to its (pointer)
+// value.
+func (g *codegen) genBase(id *Ident) (ir.Operand, error) {
+	if li, ok := g.locals[id.Name]; ok && li.isArray {
+		return li.slot, nil
+	}
+	if gd, ok := g.globals[id.Name]; ok && (gd.Size > 1 || gd.IsStr) {
+		g.at(id.Line)
+		return g.fb.AddrOf(id.Name), nil
+	}
+	return g.genExpr(id)
+}
+
+var cmpPreds = map[string]ir.CmpPred{
+	"==": ir.CmpEQ, "!=": ir.CmpNE,
+	"<": ir.CmpLT, "<=": ir.CmpLE, ">": ir.CmpGT, ">=": ir.CmpGE,
+}
+
+var binOps = map[string]ir.BinKind{
+	"+": ir.BinAdd, "-": ir.BinSub, "*": ir.BinMul, "/": ir.BinDiv,
+	"%": ir.BinRem, "&": ir.BinAnd, "|": ir.BinOr, "^": ir.BinXor,
+	"<<": ir.BinShl, ">>": ir.BinShr,
+}
+
+func (g *codegen) genExpr(e Expr) (ir.Operand, error) {
+	switch ex := e.(type) {
+	case *NumLit:
+		return ir.ConstOp(ex.Value), nil
+
+	case *StrLit:
+		// String literals are materialized by the runtime when used as
+		// call arguments; anywhere else is a compile error caught by the
+		// consumer contexts. Here we just pass the operand through.
+		return ir.StringOp(ex.Value), nil
+
+	case *Ident:
+		g.at(ex.Line)
+		if li, ok := g.locals[ex.Name]; ok {
+			if li.isArray {
+				return li.slot, nil // arrays decay to pointers
+			}
+			return g.fb.Load(li.slot), nil
+		}
+		if gd, ok := g.globals[ex.Name]; ok {
+			if gd.Size > 1 || gd.IsStr {
+				return g.fb.AddrOf(ex.Name), nil // arrays decay to pointers
+			}
+			return g.fb.Load(ir.GlobalOp(ex.Name)), nil
+		}
+		if _, ok := g.funcs[ex.Name]; ok {
+			return g.fb.FuncRef(ex.Name), nil
+		}
+		if interp.IsIntrinsic(ex.Name) {
+			return g.fb.FuncRef(ex.Name), nil
+		}
+		return ir.Operand{}, g.errf(ex.Line, "undeclared identifier %q", ex.Name)
+
+	case *Index:
+		addr, err := g.genElemAddr(ex)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		g.at(ex.Line)
+		return g.fb.Load(addr), nil
+
+	case *Unary:
+		switch ex.Op {
+		case "-":
+			v, err := g.genExpr(ex.X)
+			if err != nil {
+				return ir.Operand{}, err
+			}
+			g.at(ex.Line)
+			return g.fb.Sub(ir.ConstOp(0), v), nil
+		case "!":
+			v, err := g.genExpr(ex.X)
+			if err != nil {
+				return ir.Operand{}, err
+			}
+			g.at(ex.Line)
+			return g.fb.Cmp(ir.CmpEQ, v, ir.ConstOp(0)), nil
+		case "*":
+			v, err := g.genExpr(ex.X)
+			if err != nil {
+				return ir.Operand{}, err
+			}
+			g.at(ex.Line)
+			return g.fb.Load(v), nil
+		case "&":
+			id, ok := ex.X.(*Ident)
+			if !ok {
+				return ir.Operand{}, g.errf(ex.Line, "& needs an identifier")
+			}
+			g.at(ex.Line)
+			if li, ok := g.locals[id.Name]; ok {
+				return li.slot, nil
+			}
+			if _, ok := g.globals[id.Name]; ok {
+				return g.fb.AddrOf(id.Name), nil
+			}
+			if _, ok := g.funcs[id.Name]; ok {
+				return g.fb.FuncRef(id.Name), nil
+			}
+			return ir.Operand{}, g.errf(ex.Line, "cannot take address of %q", id.Name)
+		default:
+			return ir.Operand{}, g.errf(ex.Line, "unknown unary %q", ex.Op)
+		}
+
+	case *Binary:
+		if ex.Op == "&&" || ex.Op == "||" {
+			return g.genShortCircuit(ex)
+		}
+		x, err := g.genExpr(ex.X)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		y, err := g.genExpr(ex.Y)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		g.at(ex.Line)
+		if pred, ok := cmpPreds[ex.Op]; ok {
+			return g.fb.Cmp(pred, x, y), nil
+		}
+		if op, ok := binOps[ex.Op]; ok {
+			return g.fb.Bin(op, x, y), nil
+		}
+		return ir.Operand{}, g.errf(ex.Line, "unknown operator %q", ex.Op)
+
+	case *Call:
+		return g.genCall(ex.Name, ex.Args, ex.Line, false)
+
+	case *Spawn:
+		if _, ok := g.funcs[ex.Name]; !ok {
+			return ir.Operand{}, g.errf(ex.Line, "spawn of undeclared function %q", ex.Name)
+		}
+		return g.genCall(ex.Name, ex.Args, ex.Line, true)
+
+	default:
+		return ir.Operand{}, g.errf(0, "unknown expression %T", e)
+	}
+}
+
+func (g *codegen) genCall(name string, argExprs []Expr, line int, isSpawn bool) (ir.Operand, error) {
+	if !isSpawn {
+		_, isFunc := g.funcs[name]
+		if !isFunc && !interp.IsIntrinsic(name) {
+			return ir.Operand{}, g.errf(line, "call to undeclared function %q", name)
+		}
+	}
+	args := make([]ir.Operand, 0, len(argExprs)+1)
+	if isSpawn {
+		args = append(args, ir.FuncOp(name))
+	}
+	for _, a := range argExprs {
+		v, err := g.genExpr(a)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		args = append(args, v)
+	}
+	g.at(line)
+	callee := name
+	if isSpawn {
+		callee = "spawn"
+	}
+	return g.fb.Call(ir.FuncOp(callee), args...), nil
+}
+
+// genShortCircuit lowers && and || with control flow and a result slot.
+func (g *codegen) genShortCircuit(ex *Binary) (ir.Operand, error) {
+	g.at(ex.Line)
+	slot := g.fb.Alloca(1)
+	rhsB := g.newBlock("sc.rhs")
+	shortB := g.newBlock("sc.short")
+	endB := g.newBlock("sc.end")
+
+	x, err := g.genExpr(ex.X)
+	if err != nil {
+		return ir.Operand{}, err
+	}
+	g.at(ex.Line)
+	xb := g.fb.Cmp(ir.CmpNE, x, ir.ConstOp(0))
+	if ex.Op == "&&" {
+		g.fb.Br(xb, rhsB, shortB)
+	} else {
+		g.fb.Br(xb, shortB, rhsB)
+	}
+
+	g.startBlock(rhsB)
+	y, err := g.genExpr(ex.Y)
+	if err != nil {
+		return ir.Operand{}, err
+	}
+	g.at(ex.Line)
+	yb := g.fb.Cmp(ir.CmpNE, y, ir.ConstOp(0))
+	g.fb.Store(yb, slot)
+	g.fb.Jmp(endB)
+
+	g.startBlock(shortB)
+	g.at(ex.Line)
+	if ex.Op == "&&" {
+		g.fb.Store(ir.ConstOp(0), slot)
+	} else {
+		g.fb.Store(ir.ConstOp(1), slot)
+	}
+	g.fb.Jmp(endB)
+
+	g.startBlock(endB)
+	g.at(ex.Line)
+	return g.fb.Load(slot), nil
+}

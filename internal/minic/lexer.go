@@ -1,0 +1,199 @@
+// Package minic is a compiler front end for a small concurrent C-like
+// language targeting OWL IR — the "Source Code → clang → LLVM" edge of the
+// paper's Figure 3. It exists so workloads and user programs can be
+// written the way the studied C code reads:
+//
+//	int dying = 0;
+//
+//	int stack_check(int dst) {
+//	    if (dying != 0) { return 0; }
+//	    return 1;
+//	}
+//
+//	void main() {
+//	    int t = spawn attacker();
+//	    ...
+//	    join(t);
+//	}
+//
+// The language has int-typed values (64-bit words, like the IR), global
+// scalars/arrays/strings, functions, locals (compiled to alloca slots,
+// clang -O0 style), pointers (&x, *p, p[i]), if/else, while with
+// break/continue, short-circuit && and ||, and direct calls to the
+// runtime intrinsics (spawn/join/mutex_lock/strcpy/...). String literals
+// are allowed as call arguments and global initializers.
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota + 1
+	tokIdent
+	tokNum
+	tokString
+	tokPunct // operators and punctuation, Text holds the spelling
+	tokKeyword
+)
+
+var keywords = map[string]bool{
+	"int": true, "void": true, "string": true,
+	"if": true, "else": true, "while": true,
+	"return": true, "break": true, "continue": true,
+	"spawn": true,
+}
+
+// token is one lexeme.
+type token struct {
+	Kind tokKind
+	Text string
+	Num  int64
+	Line int
+}
+
+func (t token) String() string {
+	switch t.Kind {
+	case tokEOF:
+		return "end of file"
+	case tokNum:
+		return fmt.Sprintf("%d", t.Num)
+	case tokString:
+		return fmt.Sprintf("%q", t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// punctuation, longest first so the lexer can match greedily.
+var puncts = []string{
+	"<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+	"+", "-", "*", "/", "%", "&", "|", "^", "!", "<", ">", "=",
+	"(", ")", "{", "}", "[", "]", ",", ";",
+}
+
+type lexError struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *lexError) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg)
+}
+
+// lex tokenizes src. Comments: // to end of line, /* ... */.
+func lex(file, src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	n := len(src)
+	errf := func(format string, args ...interface{}) error {
+		return &lexError{File: file, Line: line, Msg: fmt.Sprintf(format, args...)}
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			i += 2
+			for i+1 < n && !(src[i] == '*' && src[i+1] == '/') {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			if i+1 >= n {
+				return nil, errf("unterminated block comment")
+			}
+			i += 2
+		case c >= '0' && c <= '9':
+			start := i
+			for i < n && (src[i] >= '0' && src[i] <= '9') {
+				i++
+			}
+			var v int64
+			for _, d := range src[start:i] {
+				v = v*10 + int64(d-'0')
+			}
+			toks = append(toks, token{Kind: tokNum, Num: v, Line: line, Text: src[start:i]})
+		case c == '"':
+			i++
+			var b strings.Builder
+			for i < n && src[i] != '"' {
+				ch := src[i]
+				if ch == '\n' {
+					return nil, errf("newline in string literal")
+				}
+				if ch == '\\' && i+1 < n {
+					i++
+					switch src[i] {
+					case 'n':
+						ch = '\n'
+					case 't':
+						ch = '\t'
+					case '\\':
+						ch = '\\'
+					case '"':
+						ch = '"'
+					default:
+						return nil, errf("unknown escape \\%c", src[i])
+					}
+				}
+				b.WriteByte(ch)
+				i++
+			}
+			if i >= n {
+				return nil, errf("unterminated string literal")
+			}
+			i++
+			toks = append(toks, token{Kind: tokString, Text: b.String(), Line: line})
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentPart(src[i]) {
+				i++
+			}
+			word := src[start:i]
+			kind := tokIdent
+			if keywords[word] {
+				kind = tokKeyword
+			}
+			toks = append(toks, token{Kind: kind, Text: word, Line: line})
+		default:
+			matched := false
+			for _, p := range puncts {
+				if strings.HasPrefix(src[i:], p) {
+					toks = append(toks, token{Kind: tokPunct, Text: p, Line: line})
+					i += len(p)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, errf("unexpected character %q", c)
+			}
+		}
+	}
+	toks = append(toks, token{Kind: tokEOF, Line: line})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

@@ -1,0 +1,344 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/conanalysis/owl/internal/interp"
+	"github.com/conanalysis/owl/internal/owl"
+	"github.com/conanalysis/owl/internal/sched"
+	"github.com/conanalysis/owl/internal/vuln"
+)
+
+// runMC compiles and executes a minic program, returning the result.
+func runMC(t *testing.T, src string, inputs ...int64) *interp.Result {
+	t.Helper()
+	mod, err := Compile("test.mc", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	m, err := interp.New(interp.Config{
+		Module: mod, Sched: sched.NewRoundRobin(1), Inputs: inputs, MaxSteps: 200000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Run()
+}
+
+func wantOutput(t *testing.T, res *interp.Result, want ...string) {
+	t.Helper()
+	if len(res.Faults) > 0 {
+		t.Fatalf("faults: %v", res.Faults)
+	}
+	if len(res.Output) != len(want) {
+		t.Fatalf("output = %v, want %v", res.Output, want)
+	}
+	for i := range want {
+		if res.Output[i] != want[i] {
+			t.Fatalf("output = %v, want %v", res.Output, want)
+		}
+	}
+}
+
+func TestArithmeticAndLocals(t *testing.T) {
+	res := runMC(t, `
+void main() {
+    int a = 6;
+    int b = a * 7;
+    b = b + 1 - 1;
+    print(b);
+    print(-b);
+    print(b % 5);
+    print(b / 6);
+    print(1 << 4);
+    print(255 >> 4);
+    print(6 & 3);
+    print(6 | 3);
+    print(6 ^ 3);
+}
+`)
+	wantOutput(t, res, "42", "-42", "2", "7", "16", "15", "2", "7", "5")
+}
+
+func TestControlFlow(t *testing.T) {
+	res := runMC(t, `
+void main() {
+    int i = 0;
+    int sum = 0;
+    while (i < 10) {
+        i = i + 1;
+        if (i == 3) { continue; }
+        if (i > 8) { break; }
+        sum = sum + i;
+    }
+    print(sum);
+    if (sum > 100) { print(1); } else { print(0); }
+}
+`)
+	// 1+2+4+5+6+7+8 = 33
+	wantOutput(t, res, "33", "0")
+}
+
+func TestGlobalsArraysPointers(t *testing.T) {
+	res := runMC(t, `
+int counter = 5;
+int table[4];
+
+void main() {
+    counter = counter + 1;
+    print(counter);
+    int i = 0;
+    while (i < 4) {
+        table[i] = i * i;
+        i = i + 1;
+    }
+    print(table[3]);
+    int p = &counter;
+    *p = 99;
+    print(counter);
+    int q = table;
+    print(q[2]);
+}
+`)
+	wantOutput(t, res, "6", "9", "99", "4")
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	res := runMC(t, `
+int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+void main() {
+    print(fib(10));
+}
+`)
+	wantOutput(t, res, "55")
+}
+
+func TestShortCircuit(t *testing.T) {
+	res := runMC(t, `
+int calls = 0;
+
+int bump() {
+    calls = calls + 1;
+    return 1;
+}
+void main() {
+    if (0 && bump()) { print(777); }
+    print(calls);
+    if (1 || bump()) { print(1); }
+    print(calls);
+    if (1 && bump()) { print(2); }
+    print(calls);
+}
+`)
+	wantOutput(t, res, "0", "1", "0", "2", "1")
+}
+
+func TestThreadsAndIntrinsics(t *testing.T) {
+	res := runMC(t, `
+int total = 0;
+int mu = 0;
+
+void worker(int n) {
+    mutex_lock(&mu);
+    total = total + n;
+    mutex_unlock(&mu);
+}
+void main() {
+    int t1 = spawn worker(10);
+    int t2 = spawn worker(20);
+    join(t1);
+    join(t2);
+    print(total);
+}
+`)
+	wantOutput(t, res, "30")
+}
+
+func TestStringsAndInput(t *testing.T) {
+	res := runMC(t, `
+string greeting = "hi there";
+
+void main() {
+    print_str(greeting);
+    print_str("inline literal");
+    print(strlen(greeting));
+    int a = input();
+    int b = input();
+    print(a + b);
+}
+`, 30, 12)
+	wantOutput(t, res, "hi there", "inline literal", "8", "42")
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"undeclared", "void main() { x = 1; }", "undeclared"},
+		{"undeclared call", "void main() { frob(); }", "undeclared function"},
+		{"dup local", "void main() { int a; int a; }", "redeclared"},
+		{"dup global", "int g; int g;", "redeclared"},
+		{"break outside", "void main() { break; }", "outside a loop"},
+		{"bad lvalue", "void main() { 3 = 4; }", "not assignable"},
+		{"void global", "void g;", "only valid for functions"},
+		{"lex", "void main() { int a = 1 $ 2; }", "unexpected character"},
+		{"unterminated string", "string s = \"abc", "unterminated string"},
+		{"spawn unknown", "void main() { int t = spawn nope(); }", "undeclared"},
+		{"array assign", "int a[4];\nvoid main() { a = 3; }", "whole array"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Compile("e.mc", c.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestPositionsPointAtSource(t *testing.T) {
+	mod, err := Compile("pos.mc", `int g = 0;
+
+void main() {
+    g = 1;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, in := range mod.Func("main").Instrs() {
+		if in.Op != 0 && in.Pos.File == "pos.mc" && in.Pos.Line == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no instruction carries the minic source position")
+	}
+}
+
+// TestPipelineOnMinicProgram: the whole point — write the Figure-1 pattern
+// in minic, and OWL finds the attack, reporting against minic lines. The
+// corrupted value passes through a local slot (`int d = dying;`), which
+// exercises the analyzer's taint-through-locals support.
+func TestPipelineOnMinicProgram(t *testing.T) {
+	src := `int dying = 0;
+string payload = "AAAAAAAAAAAAAAAA";
+
+int stack_check(int dst) {
+    int d = dying;
+    if (d != 0) { return 0; }
+    return 1;
+}
+
+int guarded_copy(int dst, int src) {
+    int ok = stack_check(dst);
+    if (ok == 0) {
+        return strcpy(dst, src);
+    }
+    if (strlen(src) < 8) {
+        return strcpy(dst, src);
+    }
+    return 0;
+}
+
+void attacker() {
+    io_delay(3);
+    dying = 1;
+}
+
+void main() {
+    int t = spawn attacker();
+    io_delay(3);
+    int buf = malloc(8);
+    guarded_copy(buf, payload);
+    join(t);
+}
+`
+	mod, err := Compile("libsafe.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := owl.Run(owl.Program{Module: mod, MaxSteps: 100000},
+		owl.Options{DetectRuns: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hit *vuln.Finding
+	for _, fs := range res.FindingsByReport {
+		for _, f := range fs {
+			if f.Site.IsCall() && f.Site.Callee().Name == "strcpy" &&
+				f.Dep == vuln.DepCtrl && f.Site.Pos.Line == 13 {
+				hit = f
+			}
+		}
+	}
+	if hit == nil {
+		t.Fatalf("the unchecked strcpy (libsafe.mc:13) was not flagged; stats: %+v", res.Stats)
+	}
+	if hit.Site.Pos.File != "libsafe.mc" {
+		t.Errorf("finding reported against %s, want libsafe.mc", hit.Site.Pos.File)
+	}
+	confirmed := false
+	for _, atk := range res.Attacks {
+		if atk.Finding == hit {
+			confirmed = true
+		}
+	}
+	if !confirmed {
+		t.Error("minic attack not dynamically confirmed")
+	}
+}
+
+func TestLocalArrays(t *testing.T) {
+	res := runMC(t, `
+void main() {
+    int buf[4];
+    int i = 0;
+    while (i < 4) {
+        buf[i] = i * 10;
+        i = i + 1;
+    }
+    print(buf[0] + buf[3]);
+    int p = buf;
+    print(p[2]);
+    memset(buf, 7, 4);
+    print(buf[1]);
+}
+`)
+	wantOutput(t, res, "30", "20", "7")
+}
+
+func TestLocalArrayBoundsFault(t *testing.T) {
+	mod, err := Compile("oob.mc", `
+void main() {
+    int buf[2];
+    buf[5] = 1;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := interp.New(interp.Config{Module: mod, Sched: sched.NewRoundRobin(1), MaxSteps: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if len(res.Faults) != 1 || res.Faults[0].Kind != interp.FaultOOB {
+		t.Errorf("faults = %v, want OOB", res.Faults)
+	}
+}
+
+func TestLocalArrayAssignWholeRejected(t *testing.T) {
+	_, err := Compile("e.mc", "void main() { int a[2]; a = 3; }")
+	if err == nil || !strings.Contains(err.Error(), "whole array") {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,459 @@
+package minic
+
+import (
+	"fmt"
+)
+
+// parser is a recursive-descent parser with precedence climbing for
+// expressions.
+type parser struct {
+	file string
+	toks []token
+	pos  int
+}
+
+type parseError struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *parseError) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg)
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return &parseError{File: p.file, Line: p.cur().Line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) is(text string) bool {
+	t := p.cur()
+	return (t.Kind == tokPunct || t.Kind == tokKeyword) && t.Text == text
+}
+
+func (p *parser) accept(text string) bool {
+	if p.is(text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return p.errf("expected %q, found %s", text, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, int, error) {
+	t := p.cur()
+	if t.Kind != tokIdent {
+		return "", 0, p.errf("expected identifier, found %s", t)
+	}
+	p.pos++
+	return t.Text, t.Line, nil
+}
+
+// parse parses the whole file.
+func (p *parser) parse() (*File, error) {
+	f := &File{Name: p.file}
+	for p.cur().Kind != tokEOF {
+		switch {
+		case p.is("int") || p.is("void"):
+			isVoid := p.cur().Text == "void"
+			p.pos++
+			name, line, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if p.is("(") {
+				fn, err := p.funcRest(name, line, isVoid)
+				if err != nil {
+					return nil, err
+				}
+				f.Funcs = append(f.Funcs, fn)
+				continue
+			}
+			if isVoid {
+				return nil, p.errf("void is only valid for functions")
+			}
+			g, err := p.globalRest(name, line)
+			if err != nil {
+				return nil, err
+			}
+			f.Globals = append(f.Globals, g)
+		case p.is("string"):
+			p.pos++
+			name, line, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("="); err != nil {
+				return nil, err
+			}
+			t := p.cur()
+			if t.Kind != tokString {
+				return nil, p.errf("string global needs a string literal")
+			}
+			p.pos++
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			f.Globals = append(f.Globals, &GlobalDecl{
+				Name: name, StrInit: t.Text, IsStr: true, Line: line,
+			})
+		default:
+			return nil, p.errf("expected declaration, found %s", p.cur())
+		}
+	}
+	return f, nil
+}
+
+// globalRest parses the remainder of `int name ...;`.
+func (p *parser) globalRest(name string, line int) (*GlobalDecl, error) {
+	g := &GlobalDecl{Name: name, Size: 1, Line: line}
+	switch {
+	case p.accept("["):
+		t := p.cur()
+		if t.Kind != tokNum || t.Num <= 0 {
+			return nil, p.errf("array size must be a positive integer")
+		}
+		p.pos++
+		g.Size = int(t.Num)
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+	case p.accept("="):
+		neg := p.accept("-")
+		t := p.cur()
+		if t.Kind != tokNum {
+			return nil, p.errf("global initializer must be an integer literal")
+		}
+		p.pos++
+		g.Init = t.Num
+		if neg {
+			g.Init = -g.Init
+		}
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// funcRest parses the remainder of `int|void name(...) { ... }`.
+func (p *parser) funcRest(name string, line int, isVoid bool) (*FuncDecl, error) {
+	fn := &FuncDecl{Name: name, ReturnsVoid: isVoid, Line: line}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	for !p.is(")") {
+		if len(fn.Params) > 0 {
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect("int"); err != nil {
+			return nil, err
+		}
+		pn, _, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		fn.Params = append(fn.Params, pn)
+	}
+	p.pos++ // ")"
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) block() (*BlockStmt, error) {
+	line := p.cur().Line
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Line: line}
+	for !p.is("}") {
+		if p.cur().Kind == tokEOF {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.pos++ // "}"
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.is("{"):
+		return p.block()
+	case p.is("int"):
+		p.pos++
+		name, line, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		d := &VarDecl{Name: name, Line: line}
+		switch {
+		case p.accept("["):
+			t := p.cur()
+			if t.Kind != tokNum || t.Num <= 0 {
+				return nil, p.errf("local array size must be a positive integer")
+			}
+			p.pos++
+			d.Size = int(t.Num)
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+		case p.accept("="):
+			d.Init, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return d, p.expect(";")
+	case p.is("if"):
+		p.pos++
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		s := &IfStmt{Cond: cond, Then: then, Line: t.Line}
+		if p.accept("else") {
+			if p.is("if") {
+				s.Else, err = p.stmt()
+			} else {
+				s.Else, err = p.block()
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	case p.is("while"):
+		p.pos++
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Line: t.Line}, nil
+	case p.is("return"):
+		p.pos++
+		s := &ReturnStmt{Line: t.Line}
+		if !p.is(";") {
+			var err error
+			s.Value, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return s, p.expect(";")
+	case p.is("break"):
+		p.pos++
+		return &BreakStmt{Line: t.Line}, p.expect(";")
+	case p.is("continue"):
+		p.pos++
+		return &ContinueStmt{Line: t.Line}, p.expect(";")
+	default:
+		// Assignment or expression statement. Parse an expression; if "="
+		// follows, the expression must be an lvalue.
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if p.accept("=") {
+			if !isLvalue(x) {
+				return nil, p.errf("left side of assignment is not assignable")
+			}
+			rhs, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return &AssignStmt{LHS: x, RHS: rhs, Line: t.Line}, p.expect(";")
+		}
+		return &ExprStmt{X: x, Line: t.Line}, p.expect(";")
+	}
+}
+
+func isLvalue(x Expr) bool {
+	switch v := x.(type) {
+	case *Ident:
+		return true
+	case *Index:
+		return true
+	case *Unary:
+		return v.Op == "*"
+	default:
+		return false
+	}
+}
+
+// binary operator precedence (higher binds tighter).
+var binPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) expr() (Expr, error) { return p.binExpr(1) }
+
+func (p *parser) binExpr(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind != tokPunct {
+			return lhs, nil
+		}
+		prec, ok := binPrec[t.Text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Op: t.Text, X: lhs, Y: rhs, Line: t.Line}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.cur()
+	if t.Kind == tokPunct {
+		switch t.Text {
+		case "-", "!", "*":
+			p.pos++
+			x, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			return &Unary{Op: t.Text, X: x, Line: t.Line}, nil
+		case "&":
+			p.pos++
+			name, line, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &Unary{Op: "&", X: &Ident{Name: name, Line: line}, Line: t.Line}, nil
+		}
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == tokNum:
+		p.pos++
+		return &NumLit{Value: t.Num, Line: t.Line}, nil
+	case t.Kind == tokString:
+		p.pos++
+		return &StrLit{Value: t.Text, Line: t.Line}, nil
+	case p.is("spawn"):
+		p.pos++
+		name, line, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		args, err := p.args()
+		if err != nil {
+			return nil, err
+		}
+		return &Spawn{Name: name, Args: args, Line: line}, nil
+	case p.is("("):
+		p.pos++
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return x, p.expect(")")
+	case t.Kind == tokIdent:
+		p.pos++
+		id := &Ident{Name: t.Text, Line: t.Line}
+		switch {
+		case p.is("("):
+			args, err := p.args()
+			if err != nil {
+				return nil, err
+			}
+			return &Call{Name: id.Name, Args: args, Line: id.Line}, nil
+		case p.accept("["):
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			return &Index{Base: id, Idx: idx, Line: id.Line}, nil
+		default:
+			return id, nil
+		}
+	default:
+		return nil, p.errf("expected expression, found %s", t)
+	}
+}
+
+func (p *parser) args() ([]Expr, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	for !p.is(")") {
+		if len(args) > 0 {
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		a, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+	}
+	p.pos++ // ")"
+	return args, nil
+}

@@ -1,0 +1,317 @@
+// Package owl wires OWL's five components into the Figure-3 pipeline:
+//
+//  1. a concurrency error detector runs on the program's inputs;
+//  2. the static ad-hoc synchronization detector mines the reports,
+//     annotates the program, and the detector re-runs (schedule reduction);
+//  3. the dynamic race verifier confirms the remaining reports and emits
+//     security hints;
+//  4. the static vulnerability analyzer (Algorithm 1) computes vulnerable
+//     input hints from each verified report;
+//  5. the dynamic vulnerability verifier re-runs the program and checks
+//     whether each site can actually be reached.
+//
+// The package also produces the reduction accounting behind the paper's
+// Table 3 (raw reports -> ad-hoc annotated -> verifier-eliminated ->
+// remaining) and the per-program detection summaries of Table 2.
+package owl
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/conanalysis/owl/internal/adhoc"
+	"github.com/conanalysis/owl/internal/atomicity"
+	"github.com/conanalysis/owl/internal/interp"
+	"github.com/conanalysis/owl/internal/ir"
+	"github.com/conanalysis/owl/internal/race"
+	"github.com/conanalysis/owl/internal/raceverify"
+	"github.com/conanalysis/owl/internal/sched"
+	"github.com/conanalysis/owl/internal/vuln"
+	"github.com/conanalysis/owl/internal/vulnverify"
+)
+
+// Program is the unit OWL analyzes: a frozen module plus the workload
+// configuration (entry, arguments, input tape).
+type Program struct {
+	Module   *ir.Module
+	Entry    string
+	Args     []int64
+	Inputs   []int64
+	MaxSteps int
+}
+
+// Options tunes the pipeline. The Disable* switches exist for the
+// ablation benchmarks.
+type Options struct {
+	// DetectRuns is the number of seeded detection executions whose
+	// deduplicated reports form the raw report set (default 8).
+	DetectRuns int
+
+	// DisableAdhoc skips step 2; DisableRaceVerify skips step 3;
+	// DisableVulnVerify skips step 5.
+	DisableAdhoc      bool
+	DisableRaceVerify bool
+	DisableVulnVerify bool
+
+	// TrackCtrl / InterProcedural configure Algorithm 1 (both default on;
+	// see the vuln package for what turning them off reproduces).
+	DisableCtrlFlow  bool
+	DisableInterProc bool
+
+	// RaceVerifier / VulnVerifier override the default verifiers.
+	RaceVerifier *raceverify.Verifier
+	VulnVerifier *vulnverify.Verifier
+
+	// Sites overrides the vulnerable-site registry.
+	Sites *vuln.Registry
+
+	// EnableAtomicity additionally runs the CTrigger-style
+	// atomicity-violation detector and feeds each violation's read side to
+	// Algorithm 1 — the integration the paper describes as future work
+	// (§8.3). Results land in Result.AtomicityReports /
+	// Result.AtomicityFindings.
+	EnableAtomicity bool
+}
+
+// Stats is the Table-3 accounting for one program.
+type Stats struct {
+	RawReports         int           // R.R.
+	AdhocSyncs         int           // A.S.
+	AfterAnnotation    int           // reports surviving the §5.1 re-run
+	VerifierEliminated int           // R.V.E.
+	Remaining          int           // R.
+	Findings           int           // OWL vulnerability reports
+	VerifiedAttacks    int           // sites dynamically confirmed reachable
+	AnalysisTime       time.Duration // static-analysis cost (A.C. analogue)
+	TotalTime          time.Duration
+}
+
+// ReductionRatio returns the fraction of raw reports eliminated before
+// the static analysis stage (the paper's 94.3% headline).
+func (s Stats) ReductionRatio() float64 {
+	if s.RawReports == 0 {
+		return 0
+	}
+	return 1 - float64(s.Remaining)/float64(s.RawReports)
+}
+
+// Attack is a fully confirmed bug-to-attack propagation.
+type Attack struct {
+	Report  *race.Report
+	Hint    *raceverify.Hint
+	Finding *vuln.Finding
+	Outcome *vulnverify.Outcome
+}
+
+func (a *Attack) String() string {
+	return fmt.Sprintf("%s at %s via %s race on %s",
+		a.Finding.Kind, a.Finding.Site.Loc(), a.Finding.Dep, a.Report.AddrName)
+}
+
+// Result is the pipeline output.
+type Result struct {
+	Raw       []*race.Report
+	Syncs     []*adhoc.Sync
+	Annotated []*race.Report
+	Hints     []*raceverify.Hint
+	// FindingsByReport maps race-report IDs to Algorithm-1 findings.
+	FindingsByReport map[string][]*vuln.Finding
+	Outcomes         []*vulnverify.Outcome
+	Attacks          []*Attack
+	// AtomicityReports / AtomicityFindings are filled when
+	// Options.EnableAtomicity is set.
+	AtomicityReports  []*atomicity.Report
+	AtomicityFindings []*vuln.Finding
+	Stats             Stats
+}
+
+// Run executes the pipeline over the program.
+func Run(p Program, opts Options) (*Result, error) {
+	start := time.Now()
+	if p.Module == nil || !p.Module.Frozen() {
+		return nil, fmt.Errorf("owl: program module missing or not frozen")
+	}
+	if p.MaxSteps <= 0 {
+		p.MaxSteps = 200000
+	}
+	detectRuns := opts.DetectRuns
+	if detectRuns <= 0 {
+		detectRuns = 8
+	}
+
+	res := &Result{FindingsByReport: make(map[string][]*vuln.Finding)}
+
+	// Step 1: detection runs over seeded schedules; dedupe across runs.
+	res.Raw = detect(p, detectRuns, nil)
+	res.Stats.RawReports = len(res.Raw)
+
+	// Step 2: mine ad-hoc synchronizations, annotate, re-run.
+	working := res.Raw
+	if !opts.DisableAdhoc {
+		res.Syncs = adhoc.NewDetector().Analyze(res.Raw)
+		res.Stats.AdhocSyncs = adhoc.UniqueVars(res.Syncs)
+		if len(res.Syncs) > 0 {
+			ann := adhoc.Annotate(res.Syncs, nil)
+			working = detect(p, detectRuns, ann)
+		}
+	}
+	res.Annotated = working
+	res.Stats.AfterAnnotation = len(working)
+
+	// Step 3: dynamic race verification with security hints.
+	mk := factory(p)
+	if !opts.DisableRaceVerify {
+		rv := opts.RaceVerifier
+		if rv == nil {
+			rv = raceverify.New()
+		}
+		for _, rep := range working {
+			h, err := rv.Verify(mk, rep)
+			if err != nil {
+				return nil, fmt.Errorf("owl: race verification: %w", err)
+			}
+			res.Hints = append(res.Hints, h)
+			if !h.Verified {
+				res.Stats.VerifierEliminated++
+			}
+		}
+	} else {
+		for _, rep := range working {
+			res.Hints = append(res.Hints, &raceverify.Hint{Report: rep, Verified: true})
+		}
+	}
+	res.Stats.Remaining = res.Stats.AfterAnnotation - res.Stats.VerifierEliminated
+
+	// Step 4: Algorithm 1 on each verified report's read side.
+	analysisStart := time.Now()
+	analyzer := vuln.NewAnalyzer(p.Module)
+	analyzer.TrackCtrl = !opts.DisableCtrlFlow
+	analyzer.InterProcedural = !opts.DisableInterProc
+	if opts.Sites != nil {
+		analyzer.Sites = opts.Sites
+	}
+	for _, h := range res.Hints {
+		if !h.Verified {
+			continue
+		}
+		rd, ok := h.Report.ReadSide()
+		if !ok || rd.Instr == nil {
+			continue
+		}
+		findings := analyzer.Analyze(rd.Instr, rd.Stack)
+		if len(findings) > 0 {
+			res.FindingsByReport[h.Report.ID()] = findings
+			res.Stats.Findings += len(findings)
+		}
+	}
+	// Optional CTrigger-style stage: atomicity violations also feed
+	// Algorithm 1 (paper §8.3 integration).
+	if opts.EnableAtomicity {
+		res.AtomicityReports = detectAtomicity(p, detectRuns)
+		for _, ar := range res.AtomicityReports {
+			in, stack, ok := atomicity.ReadSideOf(ar)
+			if !ok {
+				continue
+			}
+			res.AtomicityFindings = append(res.AtomicityFindings, analyzer.Analyze(in, stack)...)
+		}
+	}
+	res.Stats.AnalysisTime = time.Since(analysisStart)
+
+	// Step 5: dynamic vulnerability verification.
+	if !opts.DisableVulnVerify {
+		vv := opts.VulnVerifier
+		if vv == nil {
+			vv = vulnverify.New()
+		}
+		for _, h := range res.Hints {
+			if !h.Verified {
+				continue
+			}
+			for _, f := range res.FindingsByReport[h.Report.ID()] {
+				out, err := vv.Verify(mk, f)
+				if err != nil {
+					return nil, fmt.Errorf("owl: vulnerability verification: %w", err)
+				}
+				res.Outcomes = append(res.Outcomes, out)
+				if out.Reached {
+					res.Stats.VerifiedAttacks++
+					res.Attacks = append(res.Attacks, &Attack{
+						Report:  h.Report,
+						Hint:    h,
+						Finding: f,
+						Outcome: out,
+					})
+				}
+			}
+		}
+	}
+	res.Stats.TotalTime = time.Since(start)
+	return res, nil
+}
+
+// detectAtomicity runs the atomicity detector across seeded schedules,
+// merging violations by ID.
+func detectAtomicity(p Program, runs int) []*atomicity.Report {
+	merged := map[string]*atomicity.Report{}
+	var order []*atomicity.Report
+	for seed := uint64(1); seed <= uint64(runs); seed++ {
+		d := atomicity.NewDetector()
+		m, err := interp.New(interp.Config{
+			Module: p.Module, Entry: p.Entry, Args: p.Args, Inputs: p.Inputs,
+			MaxSteps: p.MaxSteps, Sched: sched.NewRandom(seed),
+			Observers: []interp.Observer{d},
+		})
+		if err != nil {
+			continue
+		}
+		m.Run()
+		for _, r := range d.Reports() {
+			if existing, ok := merged[r.ID()]; ok {
+				existing.Count += r.Count
+				continue
+			}
+			merged[r.ID()] = r
+			order = append(order, r)
+		}
+	}
+	return order
+}
+
+// detect runs the race detector across seeded schedules, merging reports.
+func detect(p Program, runs int, benign *race.Annotations) []*race.Report {
+	merged := map[string]*race.Report{}
+	var order []*race.Report
+	for seed := uint64(1); seed <= uint64(runs); seed++ {
+		d := race.NewDetector()
+		d.Benign = benign
+		m, err := interp.New(interp.Config{
+			Module: p.Module, Entry: p.Entry, Args: p.Args, Inputs: p.Inputs,
+			MaxSteps: p.MaxSteps, Sched: sched.NewRandom(seed),
+			Observers: []interp.Observer{d},
+		})
+		if err != nil {
+			continue
+		}
+		m.Run()
+		for _, r := range d.Reports() {
+			if existing, ok := merged[r.ID()]; ok {
+				existing.Count += r.Count
+				continue
+			}
+			merged[r.ID()] = r
+			order = append(order, r)
+		}
+	}
+	return order
+}
+
+// factory builds verification machines for the program.
+func factory(p Program) raceverify.MachineFactory {
+	return func(s interp.Scheduler, bp interp.BreakpointFunc) (*interp.Machine, error) {
+		return interp.New(interp.Config{
+			Module: p.Module, Entry: p.Entry, Args: p.Args, Inputs: p.Inputs,
+			MaxSteps: p.MaxSteps, Sched: s, Breakpoint: bp,
+		})
+	}
+}

@@ -1,0 +1,236 @@
+package owl
+
+import (
+	"testing"
+
+	"github.com/conanalysis/owl/internal/ir"
+	"github.com/conanalysis/owl/internal/vuln"
+)
+
+// pipelineSrc combines everything the pipeline must handle: an ad-hoc
+// synchronization (benign, must be annotated away), a benign stat-counter
+// race (must survive annotation but carry no attack), and the Libsafe-style
+// dying race whose control dependence reaches a strcpy overflow.
+const pipelineSrc = `
+global @dying = 0
+global @started = 0
+global @stat = 0
+global @payload = "AAAAAAAAAAAAAAAA"
+
+func @stack_check(%dst) {
+entry:
+  %d = load @dying
+  %c = icmp ne %d, 0
+  br %c, bypass, check
+bypass:
+  ret 0
+check:
+  ret 1
+}
+
+func @libsafe_strcpy(%dst, %src) {
+entry:
+  %ok = call @stack_check(%dst)
+  %c = icmp eq %ok, 0
+  br %c, docopy, checked
+docopy:
+  %r = call @strcpy(%dst, %src)
+  ret %r
+checked:
+  ret 0
+}
+
+func @die_thread() {
+entry:
+  jmp wait
+wait:
+  %s = load @started
+  %c = icmp ne %s, 0
+  br %c, go, wait
+go:
+  %v = load @stat
+  %v2 = add %v, 1
+  store %v2, @stat
+  call @io_delay(2)
+  store 1, @dying
+  ret 0
+}
+
+func @main() {
+entry:
+  %t = call @spawn(@die_thread)
+  store 1, @started
+  %v = load @stat
+  %v2 = add %v, 1
+  store %v2, @stat
+  call @io_delay(2)
+  %buf = call @malloc(4)
+  %src = addr @payload
+  %r = call @libsafe_strcpy(%buf, %src)
+  %j = call @join(%t)
+  ret 0
+}
+`
+
+func runPipeline(t *testing.T, opts Options) *Result {
+	t.Helper()
+	mod := ir.MustParse("pipeline.oir", pipelineSrc)
+	res, err := Run(Program{Module: mod, MaxSteps: 100000}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	res := runPipeline(t, Options{DetectRuns: 12})
+
+	if res.Stats.RawReports == 0 {
+		t.Fatal("no raw race reports")
+	}
+	if res.Stats.AdhocSyncs == 0 {
+		t.Error("adhoc sync on @started not mined")
+	}
+	if res.Stats.AfterAnnotation >= res.Stats.RawReports {
+		t.Errorf("annotation did not reduce reports: %d -> %d",
+			res.Stats.RawReports, res.Stats.AfterAnnotation)
+	}
+	if res.Stats.Remaining == 0 {
+		t.Fatal("race verifier eliminated everything, including the real race")
+	}
+	// The dying race must survive and produce a strcpy finding.
+	foundStrcpy := false
+	for _, fs := range res.FindingsByReport {
+		for _, f := range fs {
+			if f.Site.IsCall() && f.Site.Callee().Kind == ir.OperandFunc &&
+				f.Site.Callee().Name == "strcpy" && f.Dep == vuln.DepCtrl {
+				foundStrcpy = true
+			}
+		}
+	}
+	if !foundStrcpy {
+		t.Error("strcpy CTRL_DEP finding missing")
+	}
+	// And the vulnerability verifier must confirm it reachable.
+	confirmed := false
+	for _, atk := range res.Attacks {
+		if atk.Finding.Site.IsCall() && atk.Finding.Site.Callee().Name == "strcpy" {
+			confirmed = true
+			if atk.Outcome.Schedule == nil {
+				t.Error("confirmed attack lacks witness schedule")
+			}
+		}
+	}
+	if !confirmed {
+		t.Error("strcpy attack not dynamically confirmed")
+	}
+	if res.Stats.ReductionRatio() <= 0 {
+		t.Errorf("reduction ratio = %v, want > 0", res.Stats.ReductionRatio())
+	}
+}
+
+func TestPipelineAblationAdhocDisabled(t *testing.T) {
+	withA := runPipeline(t, Options{DetectRuns: 12})
+	without := runPipeline(t, Options{DetectRuns: 12, DisableAdhoc: true})
+	if without.Stats.AdhocSyncs != 0 {
+		t.Errorf("adhoc disabled but syncs = %d", without.Stats.AdhocSyncs)
+	}
+	if without.Stats.AfterAnnotation < withA.Stats.AfterAnnotation {
+		t.Errorf("disabling adhoc should not reduce surviving reports (%d vs %d)",
+			without.Stats.AfterAnnotation, withA.Stats.AfterAnnotation)
+	}
+}
+
+func TestPipelineAblationCtrlFlowDisabled(t *testing.T) {
+	res := runPipeline(t, Options{DetectRuns: 12, DisableCtrlFlow: true})
+	for _, fs := range res.FindingsByReport {
+		for _, f := range fs {
+			if f.Site.IsCall() && f.Site.Callee().Kind == ir.OperandFunc &&
+				f.Site.Callee().Name == "strcpy" {
+				t.Error("ctrl-flow-disabled analysis should miss the strcpy site")
+			}
+		}
+	}
+}
+
+func TestPipelineRejectsBadProgram(t *testing.T) {
+	if _, err := Run(Program{}, Options{}); err == nil {
+		t.Error("want error for nil module")
+	}
+	unfrozen := ir.NewModule("x")
+	if _, err := Run(Program{Module: unfrozen}, Options{}); err == nil {
+		t.Error("want error for unfrozen module")
+	}
+}
+
+func TestPipelineAtomicityIntegration(t *testing.T) {
+	// A check-then-act pattern: the length is validated, then re-read for
+	// the copy; the atomicity stage must surface the violation and feed
+	// Algorithm 1 to the memcpy.
+	src := `
+global @len = 0
+
+func @attacker() {
+entry:
+  call @io_delay(2)
+  store 99, @len
+  ret 0
+}
+func @main() {
+entry:
+  %t = call @spawn(@attacker)
+  %a = load @len
+  %ok = icmp lt %a, 8
+  br %ok, copy, out
+copy:
+  call @io_delay(2)
+  %b = load @len
+  %dst = call @malloc(8)
+  %src = call @malloc(128)
+  %r = call @memcpy(%dst, %src, %b)
+  %j1 = call @join(%t)
+  ret 0
+out:
+  %j2 = call @join(%t)
+  ret 0
+}
+`
+	mod := ir.MustParse("atom.oir", src)
+	res, err := Run(Program{Module: mod, MaxSteps: 50000},
+		Options{DetectRuns: 20, EnableAtomicity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.AtomicityReports) == 0 {
+		t.Fatal("no atomicity violations reported")
+	}
+	found := false
+	for _, f := range res.AtomicityFindings {
+		if f.Site.IsCall() && f.Site.Callee().Kind == ir.OperandFunc &&
+			f.Site.Callee().Name == "memcpy" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("atomicity stage produced no memcpy finding (reports: %d, findings: %d)",
+			len(res.AtomicityReports), len(res.AtomicityFindings))
+	}
+	// Without the option the fields stay empty.
+	res2, err := Run(Program{Module: mod, MaxSteps: 50000}, Options{DetectRuns: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.AtomicityReports) != 0 || len(res2.AtomicityFindings) != 0 {
+		t.Error("atomicity stage ran without being enabled")
+	}
+}
+
+func TestStatsReductionRatio(t *testing.T) {
+	s := Stats{RawReports: 100, Remaining: 6}
+	if got := s.ReductionRatio(); got < 0.93 || got > 0.95 {
+		t.Errorf("ratio = %v, want 0.94", got)
+	}
+	if (Stats{}).ReductionRatio() != 0 {
+		t.Error("zero raw reports should give ratio 0")
+	}
+}

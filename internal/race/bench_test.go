@@ -1,0 +1,80 @@
+package race
+
+import (
+	"testing"
+
+	"github.com/conanalysis/owl/internal/interp"
+	"github.com/conanalysis/owl/internal/ir"
+	"github.com/conanalysis/owl/internal/sched"
+)
+
+const benchSrc = `
+global @a = 0
+global @b = 0
+global @m = 0
+
+func @worker() {
+entry:
+  jmp head
+head:
+  %i = phi [entry: 0], [body: %i2]
+  %c = icmp lt %i, 300
+  br %c, body, done
+body:
+  %v = load @a
+  %v2 = add %v, 1
+  store %v2, @a
+  call @mutex_lock(@m)
+  %w = load @b
+  %w2 = add %w, 1
+  store %w2, @b
+  call @mutex_unlock(@m)
+  %i2 = add %i, 1
+  jmp head
+done:
+  ret 0
+}
+func @main() {
+entry:
+  %t1 = call @spawn(@worker)
+  %t2 = call @spawn(@worker)
+  %r1 = call @join(%t1)
+  %r2 = call @join(%t2)
+  ret 0
+}
+`
+
+// BenchmarkDetectorOverhead measures a full run with the happens-before
+// detector attached (mixed racy and lock-protected traffic).
+func BenchmarkDetectorOverhead(b *testing.B) {
+	mod := ir.MustParse("bench.oir", benchSrc)
+	for i := 0; i < b.N; i++ {
+		d := NewDetector()
+		m, err := interp.New(interp.Config{
+			Module: mod, Sched: sched.NewRoundRobin(1),
+			Observers: []interp.Observer{d}, MaxSteps: 100000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Run()
+		if len(d.Reports()) == 0 {
+			b.Fatal("expected races")
+		}
+	}
+}
+
+// BenchmarkBaselineNoDetector is the same run without the detector, for
+// overhead comparison.
+func BenchmarkBaselineNoDetector(b *testing.B) {
+	mod := ir.MustParse("bench.oir", benchSrc)
+	for i := 0; i < b.N; i++ {
+		m, err := interp.New(interp.Config{
+			Module: mod, Sched: sched.NewRoundRobin(1), MaxSteps: 100000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Run()
+	}
+}

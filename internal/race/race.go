@@ -1,0 +1,315 @@
+// Package race implements a happens-before data-race detector in the style
+// of ThreadSanitizer, the application-level detector OWL integrates (§6.3).
+// It consumes the interpreter's event stream: plain reads/writes are
+// checked against vector clocks; lock acquire/release and thread
+// spawn/join install happens-before edges.
+//
+// Reports are deduplicated by the unordered pair of racing instructions,
+// like TSAN's per-code-location suppression, and carry both call stacks,
+// the racing values, and the name of the racing memory ("@global+off"),
+// which is what OWL's downstream analyses consume.
+//
+// The detector honours benign annotations (Annotations): after OWL's
+// ad-hoc synchronization detector identifies a sync variable, the
+// corresponding accesses are suppressed on re-run — the paper's TSAN
+// markup step (§5.1).
+package race
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/conanalysis/owl/internal/callstack"
+	"github.com/conanalysis/owl/internal/interp"
+	"github.com/conanalysis/owl/internal/ir"
+	"github.com/conanalysis/owl/internal/vclock"
+)
+
+// Access is one side of a race.
+type Access struct {
+	TID     interp.ThreadID
+	IsWrite bool
+	Addr    int64
+	Val     int64
+	Instr   *ir.Instr
+	Stack   callstack.Stack
+	Step    int
+}
+
+func (a Access) String() string {
+	kind := "read"
+	if a.IsWrite {
+		kind = "write"
+	}
+	loc := "?"
+	if a.Instr != nil {
+		loc = a.Instr.Loc()
+	}
+	return fmt.Sprintf("%s of value %d by thread %d at %s", kind, a.Val, a.TID, loc)
+}
+
+// Report is a deduplicated data-race report. Prev is the access observed
+// first in the run; Cur the conflicting one. Count tallies dynamic
+// occurrences of the same static pair.
+type Report struct {
+	Prev, Cur Access
+	// AddrName is a human label for the racing memory ("@dying").
+	AddrName string
+	Count    int
+}
+
+// ID returns a stable identity for the static race (unordered instruction
+// pair + address label).
+func (r *Report) ID() string {
+	a, b := r.Prev.Instr.FullName(), r.Cur.Instr.FullName()
+	if a > b {
+		a, b = b, a
+	}
+	return a + " <-> " + b
+}
+
+// ReadSide returns the racing access that is a read, preferring Cur; the
+// vulnerability analyzer starts from the read side (§6.1). For write-write
+// races it returns false.
+func (r *Report) ReadSide() (Access, bool) {
+	if !r.Cur.IsWrite {
+		return r.Cur, true
+	}
+	if !r.Prev.IsWrite {
+		return r.Prev, true
+	}
+	return Access{}, false
+}
+
+// WriteSide returns a racing write access (there is always at least one).
+func (r *Report) WriteSide() Access {
+	if r.Cur.IsWrite {
+		return r.Cur
+	}
+	return r.Prev
+}
+
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "data race on %s (x%d)\n", r.AddrName, r.Count)
+	fmt.Fprintf(&b, "  %s\n", r.Cur)
+	for _, line := range strings.Split(r.Cur.Stack.String(), "\n") {
+		fmt.Fprintf(&b, "    %s\n", line)
+	}
+	fmt.Fprintf(&b, "  previous %s\n", r.Prev)
+	for _, line := range strings.Split(r.Prev.Stack.String(), "\n") {
+		fmt.Fprintf(&b, "    %s\n", line)
+	}
+	return b.String()
+}
+
+// Annotations suppress benign races: by racing instruction pair (how
+// OWL's §5.1 pass annotates ad-hoc synchronizations — the TSAN-markup
+// analogue), by individual instruction, or by global/arena block name
+// (coarse, for manual suppressions). Pair suppression is the default the
+// pipeline uses: other racy accesses to the same variable keep being
+// reported, which is what lets OWL still find the SSDB attack behind an
+// ad-hoc-sync-shaped variable.
+type Annotations struct {
+	addrNames map[string]bool
+	instrs    map[*ir.Instr]bool
+	pairs     map[[2]*ir.Instr]bool
+}
+
+// NewAnnotations returns an empty annotation set.
+func NewAnnotations() *Annotations {
+	return &Annotations{
+		addrNames: make(map[string]bool),
+		instrs:    make(map[*ir.Instr]bool),
+		pairs:     make(map[[2]*ir.Instr]bool),
+	}
+}
+
+// AddPair suppresses the specific unordered racing pair (a, b).
+func (a *Annotations) AddPair(x, y *ir.Instr) {
+	a.pairs[[2]*ir.Instr{x, y}] = true
+	a.pairs[[2]*ir.Instr{y, x}] = true
+}
+
+// AddVar suppresses races on the named memory block (e.g. "@dying").
+func (a *Annotations) AddVar(name string) { a.addrNames[name] = true }
+
+// AddInstr suppresses races where either endpoint is the instruction.
+func (a *Annotations) AddInstr(in *ir.Instr) { a.instrs[in] = true }
+
+// Vars returns the annotated variable names, sorted.
+func (a *Annotations) Vars() []string {
+	out := make([]string, 0, len(a.addrNames))
+	for n := range a.addrNames {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of suppression entries (variables plus pairs).
+func (a *Annotations) Len() int { return len(a.addrNames) + len(a.pairs)/2 }
+
+func (a *Annotations) suppresses(addrName string, i1, i2 *ir.Instr) bool {
+	if a == nil {
+		return false
+	}
+	base := addrName
+	if i := strings.IndexByte(base, '+'); i >= 0 {
+		base = base[:i]
+	}
+	if a.addrNames[base] || a.addrNames[addrName] {
+		return true
+	}
+	if a.pairs[[2]*ir.Instr{i1, i2}] {
+		return true
+	}
+	return a.instrs[i1] || a.instrs[i2]
+}
+
+type lastAccess struct {
+	tid   interp.ThreadID
+	tick  uint64
+	acc   Access
+	valid bool
+}
+
+type varState struct {
+	write lastAccess
+	reads map[interp.ThreadID]lastAccess
+}
+
+// Detector is the race detector; attach it as an interpreter observer.
+type Detector struct {
+	// Benign, when non-nil, suppresses annotated races.
+	Benign *Annotations
+
+	vcs   map[interp.ThreadID]*vclock.VC
+	locks map[int64]*vclock.VC
+	vars  map[int64]*varState
+	byID  map[string]*Report
+	order []*Report
+}
+
+var _ interp.Observer = (*Detector)(nil)
+
+// NewDetector returns a fresh detector.
+func NewDetector() *Detector {
+	return &Detector{
+		vcs:   make(map[interp.ThreadID]*vclock.VC),
+		locks: make(map[int64]*vclock.VC),
+		vars:  make(map[int64]*varState),
+		byID:  make(map[string]*Report),
+	}
+}
+
+// Reports returns the deduplicated race reports in first-seen order.
+func (d *Detector) Reports() []*Report { return d.order }
+
+func (d *Detector) vc(tid interp.ThreadID) *vclock.VC {
+	v := d.vcs[tid]
+	if v == nil {
+		v = vclock.New()
+		v.Tick(int(tid))
+		d.vcs[tid] = v
+	}
+	return v
+}
+
+func (d *Detector) state(addr int64) *varState {
+	s := d.vars[addr]
+	if s == nil {
+		s = &varState{reads: make(map[interp.ThreadID]lastAccess)}
+		d.vars[addr] = s
+	}
+	return s
+}
+
+// OnEvent implements interp.Observer.
+func (d *Detector) OnEvent(m *interp.Machine, e interp.Event) {
+	switch e.Kind {
+	case interp.EvAcquire:
+		if l := d.locks[e.Addr]; l != nil {
+			d.vc(e.TID).Join(l)
+		}
+	case interp.EvRelease:
+		me := d.vc(e.TID)
+		d.locks[e.Addr] = me.Copy()
+		me.Tick(int(e.TID))
+	case interp.EvSpawn:
+		parent := d.vc(e.TID)
+		child := parent.Copy()
+		child.Tick(int(e.Aux))
+		d.vcs[interp.ThreadID(e.Aux)] = child
+		parent.Tick(int(e.TID))
+	case interp.EvJoin:
+		if cv := d.vcs[interp.ThreadID(e.Aux)]; cv != nil {
+			d.vc(e.TID).Join(cv)
+		}
+	case interp.EvRead:
+		d.onRead(m, e)
+	case interp.EvWrite:
+		d.onWrite(m, e)
+	}
+}
+
+func (d *Detector) access(e interp.Event, isWrite bool) Access {
+	return Access{
+		TID: e.TID, IsWrite: isWrite, Addr: e.Addr, Val: e.Val,
+		Instr: e.Instr, Stack: e.Stack, Step: e.Step,
+	}
+}
+
+func (d *Detector) onRead(m *interp.Machine, e interp.Event) {
+	me := d.vc(e.TID)
+	s := d.state(e.Addr)
+	if s.write.valid && s.write.tid != e.TID &&
+		!me.HappensBefore(int(s.write.tid), s.write.tick) {
+		d.report(m, s.write.acc, d.access(e, false))
+	}
+	s.reads[e.TID] = lastAccess{
+		tid: e.TID, tick: me.Get(int(e.TID)), acc: d.access(e, false), valid: true,
+	}
+}
+
+func (d *Detector) onWrite(m *interp.Machine, e interp.Event) {
+	me := d.vc(e.TID)
+	s := d.state(e.Addr)
+	if s.write.valid && s.write.tid != e.TID &&
+		!me.HappensBefore(int(s.write.tid), s.write.tick) {
+		d.report(m, s.write.acc, d.access(e, true))
+	}
+	for tid, rd := range s.reads {
+		if !rd.valid || tid == e.TID {
+			continue
+		}
+		if !me.HappensBefore(int(tid), rd.tick) {
+			d.report(m, rd.acc, d.access(e, true))
+		}
+	}
+	s.write = lastAccess{
+		tid: e.TID, tick: me.Get(int(e.TID)), acc: d.access(e, true), valid: true,
+	}
+	// A write that is ordered after previous reads supersedes them; clear
+	// reads that happened before this write to bound state growth.
+	for tid, rd := range s.reads {
+		if me.HappensBefore(int(tid), rd.tick) {
+			delete(s.reads, tid)
+		}
+	}
+}
+
+func (d *Detector) report(m *interp.Machine, prev, cur Access) {
+	addrName := m.Mem().NameFor(cur.Addr)
+	if d.Benign.suppresses(addrName, prev.Instr, cur.Instr) {
+		return
+	}
+	r := &Report{Prev: prev, Cur: cur, AddrName: addrName, Count: 1}
+	if existing, ok := d.byID[r.ID()]; ok {
+		existing.Count++
+		return
+	}
+	d.byID[r.ID()] = r
+	d.order = append(d.order, r)
+}

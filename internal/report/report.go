@@ -1,0 +1,127 @@
+// Package report renders OWL's analysis artifacts for humans: race
+// reports, security hints, vulnerable-input hints in the paper's Figure-5
+// format, pipeline summaries, and the evaluation tables. Everything is
+// plain text; the cmd binaries print these.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/conanalysis/owl/internal/owl"
+	"github.com/conanalysis/owl/internal/race"
+	"github.com/conanalysis/owl/internal/raceverify"
+	"github.com/conanalysis/owl/internal/vuln"
+	"github.com/conanalysis/owl/internal/vulnverify"
+)
+
+// Race renders one race report.
+func Race(r *race.Report) string { return r.String() }
+
+// Hint renders a race verifier hint block.
+func Hint(h *raceverify.Hint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== dynamic race verification ==\n")
+	fmt.Fprintf(&b, "report: %s\n", h.Report.ID())
+	if !h.Verified {
+		fmt.Fprintf(&b, "NOT verified after %d attempts (eliminated)\n", h.Attempts)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "verified in the racing moment (attempt %d)\n", h.Attempts)
+	fmt.Fprintf(&b, "  variable:        %s\n", h.VarName)
+	fmt.Fprintf(&b, "  about to read:   %d\n", h.ReadVal)
+	fmt.Fprintf(&b, "  about to write:  %d\n", h.WriteVal)
+	if h.WritesNull {
+		fmt.Fprintf(&b, "  hint: a NULL pointer dereference can be triggered\n")
+	}
+	if h.ReadsUninitialized {
+		fmt.Fprintf(&b, "  hint: uninitialized data can be read\n")
+	}
+	return b.String()
+}
+
+// Finding renders a vulnerable-input hint the way the paper's Figure 5
+// prints OWL's Libsafe report:
+//
+//	---- Ctrl Dependent Vulnerability----
+//	[ 632 ]
+//	%632: br %631 if.end13 if.then11 (intercept.c:164)
+//	Vulnerable Site Location: (intercept.c:165)
+func Finding(f *vuln.Finding) string {
+	var b strings.Builder
+	switch f.Dep {
+	case vuln.DepCtrl:
+		b.WriteString("---- Ctrl Dependent Vulnerability----\n")
+	default:
+		b.WriteString("---- Data Dependent Vulnerability----\n")
+	}
+	for _, br := range f.Branches {
+		fmt.Fprintf(&b, "[ %d ]\n", br.Index)
+		fmt.Fprintf(&b, "%s %s\n", br.String(), br.Loc())
+	}
+	fmt.Fprintf(&b, "Vulnerable Site Location: %s\n", f.Site.Loc())
+	fmt.Fprintf(&b, "Vulnerable Site Kind: %s (%s)\n", f.Kind, f.Dep)
+	if len(f.FnPath) > 0 {
+		fmt.Fprintf(&b, "Propagation path: %s\n", strings.Join(f.FnPath, " -> "))
+	}
+	return b.String()
+}
+
+// Outcome renders a dynamic vulnerability verification outcome.
+func Outcome(o *vulnverify.Outcome) string { return o.String() }
+
+// Summary renders a pipeline result overview.
+func Summary(name string, res *owl.Result) string {
+	var b strings.Builder
+	s := res.Stats
+	fmt.Fprintf(&b, "== OWL pipeline summary: %s ==\n", name)
+	fmt.Fprintf(&b, "raw race reports:            %d\n", s.RawReports)
+	fmt.Fprintf(&b, "adhoc syncs annotated:       %d\n", s.AdhocSyncs)
+	fmt.Fprintf(&b, "reports after annotation:    %d\n", s.AfterAnnotation)
+	fmt.Fprintf(&b, "eliminated by race verifier: %d\n", s.VerifierEliminated)
+	fmt.Fprintf(&b, "remaining reports:           %d\n", s.Remaining)
+	fmt.Fprintf(&b, "vulnerability findings:      %d\n", s.Findings)
+	fmt.Fprintf(&b, "dynamically confirmed:       %d\n", s.VerifiedAttacks)
+	fmt.Fprintf(&b, "report reduction:            %.1f%%\n", 100*s.ReductionRatio())
+	fmt.Fprintf(&b, "static analysis time:        %s\n", s.AnalysisTime)
+	for _, atk := range res.Attacks {
+		fmt.Fprintf(&b, "CONFIRMED ATTACK: %s\n", atk)
+	}
+	return b.String()
+}
+
+// Table renders rows as a fixed-width text table; the first row is the
+// header.
+func Table(rows [][]string) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	for ri, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+		if ri == 0 {
+			for i, w := range widths {
+				if i > 0 {
+					b.WriteString("  ")
+				}
+				b.WriteString(strings.Repeat("-", w))
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}

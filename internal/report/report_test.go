@@ -1,0 +1,123 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/conanalysis/owl/internal/ir"
+	"github.com/conanalysis/owl/internal/owl"
+	"github.com/conanalysis/owl/internal/race"
+	"github.com/conanalysis/owl/internal/raceverify"
+	"github.com/conanalysis/owl/internal/vuln"
+)
+
+const miniSrc = `
+global @g = 0
+func @main() {
+entry:
+  %v = load @g
+  %c = icmp ne %v, 0
+  br %c, hit, out
+hit:
+  %p = call @malloc(2)
+  %r = call @memcpy(%p, %p, %v)
+  ret 0
+out:
+  ret 0
+}
+`
+
+func miniFinding(t *testing.T) *vuln.Finding {
+	t.Helper()
+	mod := ir.MustParse("mini.oir", miniSrc)
+	var load *ir.Instr
+	for _, in := range mod.Func("main").Instrs() {
+		if in.Op == ir.OpLoad {
+			load = in
+			break
+		}
+	}
+	a := vuln.NewAnalyzer(mod)
+	findings := a.Analyze(load, nil)
+	for _, f := range findings {
+		if f.Site.IsCall() && f.Site.Callee().Name == "memcpy" {
+			return f
+		}
+	}
+	t.Fatal("no memcpy finding")
+	return nil
+}
+
+func TestFindingFormatMatchesFigure5(t *testing.T) {
+	out := Finding(miniFinding(t))
+	for _, want := range []string{
+		"Dependent Vulnerability----",
+		"Vulnerable Site Location: (mini.oir:",
+		"memory operation",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("finding output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHintRendering(t *testing.T) {
+	h := &raceverify.Hint{
+		Report:   fakeReport(t),
+		Verified: true, Attempts: 2,
+		ReadVal: 0, WriteVal: 0, VarName: "@fptr", WritesNull: true,
+	}
+	out := Hint(h)
+	if !strings.Contains(out, "NULL pointer dereference") {
+		t.Errorf("missing NULL hint:\n%s", out)
+	}
+	h.Verified = false
+	if out := Hint(h); !strings.Contains(out, "NOT verified") {
+		t.Errorf("missing elimination notice:\n%s", out)
+	}
+}
+
+func fakeReport(t *testing.T) *race.Report {
+	t.Helper()
+	mod := ir.MustParse("mini.oir", miniSrc)
+	in := mod.Func("main").Instrs()[0]
+	return &race.Report{
+		Prev:     race.Access{Instr: in, IsWrite: true},
+		Cur:      race.Access{Instr: in},
+		AddrName: "@g",
+	}
+}
+
+func TestSummaryRendering(t *testing.T) {
+	res := &owl.Result{}
+	res.Stats = owl.Stats{RawReports: 100, AdhocSyncs: 5, AfterAnnotation: 60,
+		VerifierEliminated: 50, Remaining: 10, Findings: 3, VerifiedAttacks: 1}
+	out := Summary("demo", res)
+	for _, want := range []string{"raw race reports:            100",
+		"report reduction:            90.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([][]string{
+		{"Name", "N"},
+		{"apache", "715"},
+		{"x", "3"},
+	})
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4 (header + rule + 2 rows)", len(lines))
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Errorf("missing header rule: %q", lines[1])
+	}
+	if len(lines[2]) != len(lines[3]) {
+		t.Errorf("rows not aligned:\n%s", out)
+	}
+	if Table(nil) != "" {
+		t.Error("empty table should render empty")
+	}
+}

@@ -1,0 +1,109 @@
+package sched
+
+import (
+	"fmt"
+
+	"github.com/conanalysis/owl/internal/interp"
+)
+
+// Decision is one scheduling decision point: how many threads were
+// runnable and which index was chosen.
+type Decision struct {
+	Choices int
+	Chosen  int
+}
+
+// DecisionSched drives the machine from an explicit decision vector: at
+// each point where more than one thread is runnable it consumes one
+// decision (defaulting to index 0 past the end of the vector) and records
+// what it did. It is the building block of systematic exploration.
+type DecisionSched struct {
+	Decisions []int
+	pos       int
+	Trace     []Decision
+}
+
+// Next implements interp.Scheduler.
+func (s *DecisionSched) Next(runnable []interp.ThreadID, step int) interp.ThreadID {
+	if len(runnable) == 1 {
+		return runnable[0]
+	}
+	choice := 0
+	if s.pos < len(s.Decisions) {
+		choice = s.Decisions[s.pos]
+	}
+	s.pos++
+	if choice >= len(runnable) {
+		choice = len(runnable) - 1
+	}
+	s.Trace = append(s.Trace, Decision{Choices: len(runnable), Chosen: choice})
+	return runnable[choice]
+}
+
+// Explorer performs bounded systematic schedule exploration (the SKI-style
+// substrate): depth-first search over the tree of scheduling decisions,
+// bounded by MaxRuns total executions and MaxDecisions branch points per
+// execution (decision points beyond the bound always take choice 0).
+type Explorer struct {
+	// MaxRuns bounds the number of executions (default 256).
+	MaxRuns int
+	// MaxDecisions bounds the branching depth explored (default 12).
+	MaxDecisions int
+}
+
+// ExploreResult summarizes an exploration.
+type ExploreResult struct {
+	Runs      int
+	Exhausted bool // true if the full bounded tree was covered
+}
+
+// Explore runs mkRun once per schedule in the bounded tree. mkRun must
+// construct a fresh machine wired to the provided scheduler, run it, and
+// may inspect it (typically: attach a race detector). Exploration is
+// deterministic.
+func (e *Explorer) Explore(mkRun func(s interp.Scheduler) error) (ExploreResult, error) {
+	maxRuns := e.MaxRuns
+	if maxRuns <= 0 {
+		maxRuns = 256
+	}
+	maxDec := e.MaxDecisions
+	if maxDec <= 0 {
+		maxDec = 12
+	}
+
+	stack := [][]int{{}}
+	res := ExploreResult{}
+	for len(stack) > 0 {
+		if res.Runs >= maxRuns {
+			return res, nil
+		}
+		d := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		s := &DecisionSched{Decisions: d}
+		if err := mkRun(s); err != nil {
+			return res, fmt.Errorf("exploration run %d: %w", res.Runs, err)
+		}
+		res.Runs++
+
+		// Schedule the unexplored siblings of every decision point at or
+		// beyond this vector's frontier, within the depth bound.
+		limit := len(s.Trace)
+		if limit > maxDec {
+			limit = maxDec
+		}
+		for p := limit - 1; p >= len(d); p-- {
+			for c := s.Trace[p].Choices - 1; c >= 1; c-- {
+				next := make([]int, p+1)
+				copy(next, d)
+				for q := len(d); q < p; q++ {
+					next[q] = 0
+				}
+				next[p] = c
+				stack = append(stack, next)
+			}
+		}
+	}
+	res.Exhausted = true
+	return res, nil
+}

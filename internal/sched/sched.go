@@ -1,0 +1,194 @@
+// Package sched provides deterministic thread schedulers for the
+// interpreter: round-robin, seeded random, PCT-style priority scheduling,
+// recorded-schedule replay, and an exhaustive DFS explorer used by the
+// SKI-style kernel detector. All schedulers are deterministic functions of
+// their construction parameters, which is what makes OWL's replay-based
+// verification possible.
+package sched
+
+import (
+	"github.com/conanalysis/owl/internal/interp"
+)
+
+// RoundRobin cycles through runnable threads, switching threads every
+// Quantum steps (default 1, i.e. fully interleaved).
+type RoundRobin struct {
+	Quantum int
+	last    interp.ThreadID
+	used    int
+}
+
+// NewRoundRobin returns a round-robin scheduler with the given quantum.
+func NewRoundRobin(quantum int) *RoundRobin {
+	if quantum < 1 {
+		quantum = 1
+	}
+	return &RoundRobin{Quantum: quantum, last: -1}
+}
+
+// Next implements interp.Scheduler.
+func (s *RoundRobin) Next(runnable []interp.ThreadID, step int) interp.ThreadID {
+	if s.last >= 0 && s.used < s.Quantum {
+		for _, id := range runnable {
+			if id == s.last {
+				s.used++
+				return id
+			}
+		}
+	}
+	// Pick the first runnable id strictly greater than last, wrapping.
+	for _, id := range runnable {
+		if id > s.last {
+			s.last, s.used = id, 1
+			return id
+		}
+	}
+	s.last, s.used = runnable[0], 1
+	return runnable[0]
+}
+
+// rng is a self-contained xorshift64* PRNG; math/rand would also be
+// deterministic, but an explicit state keeps the schedule a pure function
+// of the seed across Go versions.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &rng{state: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.state ^= r.state >> 12
+	r.state ^= r.state << 25
+	r.state ^= r.state >> 27
+	return r.state * 0x2545f4914f6cdd1d
+}
+
+func (r *rng) intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// Random picks a uniformly random runnable thread each step, seeded.
+type Random struct{ r *rng }
+
+// NewRandom returns a seeded random scheduler.
+func NewRandom(seed uint64) *Random { return &Random{r: newRNG(seed)} }
+
+// Next implements interp.Scheduler.
+func (s *Random) Next(runnable []interp.ThreadID, step int) interp.ThreadID {
+	return runnable[s.r.intn(len(runnable))]
+}
+
+// PCT approximates the PCT algorithm (Burckhardt et al.): threads get
+// random priorities; the highest-priority runnable thread runs, and at d-1
+// random step indices the running thread's priority is demoted below all
+// others. Small d finds most races with high probability.
+type PCT struct {
+	r          *rng
+	prio       map[interp.ThreadID]int
+	nextPrio   int
+	demoteAt   map[int]bool
+	demoteBase int
+}
+
+// NewPCT returns a PCT scheduler with depth d over maxSteps steps.
+func NewPCT(seed uint64, d, maxSteps int) *PCT {
+	p := &PCT{
+		r:        newRNG(seed),
+		prio:     make(map[interp.ThreadID]int),
+		demoteAt: make(map[int]bool),
+		nextPrio: 1 << 20,
+	}
+	for i := 0; i < d-1; i++ {
+		if maxSteps > 0 {
+			p.demoteAt[p.r.intn(maxSteps)] = true
+		}
+	}
+	return p
+}
+
+// Next implements interp.Scheduler.
+func (s *PCT) Next(runnable []interp.ThreadID, step int) interp.ThreadID {
+	best := runnable[0]
+	for _, id := range runnable {
+		if _, ok := s.prio[id]; !ok {
+			// Random initial priority, high band.
+			s.prio[id] = (1 << 20) + s.r.intn(1<<20)
+		}
+		if s.prio[id] > s.prio[best] {
+			best = id
+		}
+	}
+	if s.demoteAt[step] {
+		s.demoteBase--
+		s.prio[best] = s.demoteBase
+		// Re-pick after demotion.
+		for _, id := range runnable {
+			if s.prio[id] > s.prio[best] {
+				best = id
+			}
+		}
+	}
+	return best
+}
+
+// Replay replays a recorded schedule exactly; once the recording is
+// exhausted (or the recorded thread is not runnable — which can happen
+// when a verifier perturbs the run), it falls back to the supplied
+// scheduler (default: round-robin).
+type Replay struct {
+	Trace    []interp.ThreadID
+	Fallback interp.Scheduler
+	pos      int
+	// Diverged reports whether the replay ever had to fall back.
+	Diverged bool
+}
+
+// NewReplay returns a replay scheduler over the recorded trace.
+func NewReplay(trace []interp.ThreadID) *Replay {
+	return &Replay{Trace: trace, Fallback: NewRoundRobin(1)}
+}
+
+// Next implements interp.Scheduler.
+func (s *Replay) Next(runnable []interp.ThreadID, step int) interp.ThreadID {
+	if s.pos < len(s.Trace) {
+		want := s.Trace[s.pos]
+		s.pos++
+		for _, id := range runnable {
+			if id == want {
+				return id
+			}
+		}
+		s.Diverged = true
+	}
+	if s.Fallback == nil {
+		s.Fallback = NewRoundRobin(1)
+	}
+	return s.Fallback.Next(runnable, step)
+}
+
+// Fixed always prefers the lowest-id runnable thread in Order; useful in
+// tests to force specific interleavings, and used by the verifiers to
+// steer the racing instructions into a requested order.
+type Fixed struct {
+	// Order is the preference list; threads not listed come after listed
+	// ones, lowest id first.
+	Order []interp.ThreadID
+}
+
+// Next implements interp.Scheduler.
+func (s *Fixed) Next(runnable []interp.ThreadID, step int) interp.ThreadID {
+	for _, want := range s.Order {
+		for _, id := range runnable {
+			if id == want {
+				return id
+			}
+		}
+	}
+	return runnable[0]
+}

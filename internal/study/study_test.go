@@ -1,0 +1,101 @@
+package study
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/conanalysis/owl/internal/workloads"
+)
+
+func runStudy(t *testing.T) *Result {
+	t.Helper()
+	res, err := Run(Config{Noise: workloads.NoiseLight, MaxRuns: 100, DetectRuns: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestFindingIEveryProgramHasAttacks(t *testing.T) {
+	res := runStudy(t)
+	if res.TotalPrograms != 7 {
+		t.Errorf("programs = %d, want 7", res.TotalPrograms)
+	}
+	// Memcached is the deliberate no-attack control; all six studied
+	// programs have attacks.
+	if res.ProgramsWithAttacks != 6 {
+		t.Errorf("programs with attacks = %d, want 6", res.ProgramsWithAttacks)
+	}
+	if len(res.Rows) != 10 {
+		t.Errorf("attacks = %d, want 10 (the paper's reproduced set)", len(res.Rows))
+	}
+}
+
+func TestFindingIIISubtleInputsFewRepetitions(t *testing.T) {
+	res := runStudy(t)
+	exploited := 0
+	for _, row := range res.Rows {
+		if row.Exploited {
+			exploited++
+		}
+	}
+	if exploited != len(res.Rows) {
+		t.Errorf("exploited %d/%d attacks", exploited, len(res.Rows))
+	}
+	// Paper: 8 of 10 within 20 repetitions.
+	if w := res.Within20(); w < 8 {
+		t.Errorf("within-20 = %d, want >= 8", w)
+	}
+}
+
+func TestFindingIICrossFunctionSpread(t *testing.T) {
+	res := runStudy(t)
+	// Paper: 7 of the 10 reproduced attacks have bug and vulnerability
+	// site in different functions.
+	if c := res.CrossFunctionCount(); c < 5 {
+		t.Errorf("cross-function attacks = %d, want >= 5", c)
+	}
+	have, checked := res.PrefixCount()
+	if checked == 0 {
+		t.Fatal("prefix property never measured")
+	}
+	if have*10 < checked*7 {
+		t.Errorf("prefix property %d/%d, want >= 70%%", have, checked)
+	}
+}
+
+func TestFindingIVRacesDetectable(t *testing.T) {
+	res := runStudy(t)
+	// Paper: all studied bugs were data races readily detected by TSAN or
+	// SKI.
+	if d := res.DetectedCount(); d != len(res.Rows) {
+		for _, row := range res.Rows {
+			if !row.RaceDetected {
+				t.Logf("undetected: %s/%s", row.Workload, row.Spec.ID)
+			}
+		}
+		t.Errorf("detected %d/%d races", d, len(res.Rows))
+	}
+}
+
+func TestFindingVBurial(t *testing.T) {
+	res := runStudy(t)
+	// Every attack's race shares the detector output with other reports
+	// ("finding needles in a haystack").
+	for _, row := range res.Rows {
+		if row.BuriedAmong < 2 {
+			t.Errorf("%s/%s: buried among %d reports, want >= 2",
+				row.Workload, row.Spec.ID, row.BuriedAmong)
+		}
+	}
+}
+
+func TestResultString(t *testing.T) {
+	res := runStudy(t)
+	s := res.String()
+	for _, want := range []string{"Finding I", "Finding II", "Finding III", "Finding IV"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}

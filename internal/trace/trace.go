@@ -1,0 +1,108 @@
+// Package trace serializes witness schedules. OWL's value to a developer
+// is not just "there is a race" but a reproducible demonstration; a
+// Recording captures everything a deterministic re-execution needs — the
+// module identity, the inputs, and the exact thread schedule — as JSON, so
+// a racy run found on one machine replays bit-for-bit on another.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"github.com/conanalysis/owl/internal/interp"
+	"github.com/conanalysis/owl/internal/ir"
+	"github.com/conanalysis/owl/internal/sched"
+)
+
+// Recording is a replayable run description.
+type Recording struct {
+	// ModuleName identifies the module (sanity check on replay).
+	ModuleName string `json:"module"`
+	// Entry is the entry function.
+	Entry string `json:"entry"`
+	// Args and Inputs reproduce the program configuration.
+	Args   []int64 `json:"args,omitempty"`
+	Inputs []int64 `json:"inputs,omitempty"`
+	// Schedule is the exact thread-choice sequence.
+	Schedule []interp.ThreadID `json:"schedule"`
+	// MaxSteps bounds the replay.
+	MaxSteps int `json:"maxSteps,omitempty"`
+	// Note is free-form provenance ("race verified on @dying, seed 3").
+	Note string `json:"note,omitempty"`
+}
+
+// FromRun builds a recording from a finished machine's result.
+func FromRun(cfg interp.Config, res *interp.Result, note string) *Recording {
+	name := ""
+	if cfg.Module != nil {
+		name = cfg.Module.Name
+	}
+	return &Recording{
+		ModuleName: name,
+		Entry:      cfg.Entry,
+		Args:       append([]int64(nil), cfg.Args...),
+		Inputs:     append([]int64(nil), cfg.Inputs...),
+		Schedule:   append([]interp.ThreadID(nil), res.Schedule...),
+		MaxSteps:   cfg.MaxSteps,
+		Note:       note,
+	}
+}
+
+// Marshal renders the recording as indented JSON.
+func (r *Recording) Marshal() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Unmarshal parses a recording.
+func Unmarshal(data []byte) (*Recording, error) {
+	var r Recording
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("trace: decode recording: %w", err)
+	}
+	return &r, nil
+}
+
+// Save writes the recording to a file.
+func (r *Recording) Save(path string) error {
+	data, err := r.Marshal()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("trace: save %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load reads a recording from a file.
+func Load(path string) (*Recording, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: load %s: %w", path, err)
+	}
+	return Unmarshal(data)
+}
+
+// Config builds the interp configuration replaying this recording against
+// the given (already parsed and frozen) module. The returned *sched.Replay
+// exposes Diverged after the run; the caller may attach observers or
+// breakpoints before running.
+func (r *Recording) Config(mod *ir.Module) (interp.Config, *sched.Replay, error) {
+	if mod == nil || !mod.Frozen() {
+		return interp.Config{}, nil, fmt.Errorf("trace: replay needs a frozen module")
+	}
+	if r.ModuleName != "" && mod.Name != r.ModuleName {
+		return interp.Config{}, nil, fmt.Errorf(
+			"trace: recording is for module %q, got %q", r.ModuleName, mod.Name)
+	}
+	replay := sched.NewReplay(r.Schedule)
+	return interp.Config{
+		Module:   mod,
+		Entry:    r.Entry,
+		Args:     append([]int64(nil), r.Args...),
+		Inputs:   append([]int64(nil), r.Inputs...),
+		MaxSteps: r.MaxSteps,
+		Sched:    replay,
+	}, replay, nil
+}

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/conanalysis/owl/internal/interp"
+	"github.com/conanalysis/owl/internal/ir"
+	"github.com/conanalysis/owl/internal/sched"
+)
+
+const racySrc = `
+module racy
+
+global @x = 0
+
+func @worker(%v) {
+entry:
+  store %v, @x
+  ret 0
+}
+func @main() {
+entry:
+  %t1 = call @spawn(@worker, 1)
+  %t2 = call @spawn(@worker, 2)
+  %r1 = call @join(%t1)
+  %r2 = call @join(%t2)
+  %v = load @x
+  call @print(%v)
+  ret 0
+}
+`
+
+func TestRoundTripReplayReproducesRun(t *testing.T) {
+	mod := ir.MustParse("racy.oir", racySrc)
+	cfg := interp.Config{Module: mod, Sched: sched.NewRandom(42), MaxSteps: 10000}
+	m, err := interp.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := m.Run()
+
+	rec := FromRun(cfg, orig, "seed 42 run")
+	data, err := rec.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec2, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2.Note != "seed 42 run" || rec2.ModuleName != "racy" {
+		t.Errorf("metadata lost: %+v", rec2)
+	}
+
+	replayCfg, replay, err := rec2.Config(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := interp.New(replayCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m2.Run()
+	if replay.Diverged {
+		t.Error("replay diverged")
+	}
+	if len(res.Output) != 1 || res.Output[0] != orig.Output[0] {
+		t.Errorf("replay output %v != original %v", res.Output, orig.Output)
+	}
+	if len(res.Schedule) != len(orig.Schedule) {
+		t.Errorf("replay schedule length %d != %d", len(res.Schedule), len(orig.Schedule))
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	mod := ir.MustParse("racy.oir", racySrc)
+	cfg := interp.Config{Module: mod, Sched: sched.NewRandom(7), MaxSteps: 10000,
+		Inputs: []int64{3, 4}}
+	m, err := interp.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := FromRun(cfg, res, "").Save(path); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Schedule) != len(res.Schedule) {
+		t.Errorf("schedule not preserved")
+	}
+	if len(rec.Inputs) != 2 || rec.Inputs[0] != 3 {
+		t.Errorf("inputs not preserved: %v", rec.Inputs)
+	}
+}
+
+func TestReplayRejectsWrongModule(t *testing.T) {
+	mod := ir.MustParse("racy.oir", racySrc)
+	rec := &Recording{ModuleName: "other"}
+	if _, _, err := rec.Config(mod); err == nil {
+		t.Error("want module-name mismatch error")
+	}
+	if _, _, err := rec.Config(nil); err == nil {
+		t.Error("want nil-module error")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load("/no/such/file.json"); err == nil {
+		t.Error("want read error")
+	}
+	if _, err := Unmarshal([]byte("{broken")); err == nil {
+		t.Error("want decode error")
+	}
+}

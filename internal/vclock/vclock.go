@@ -1,0 +1,91 @@
+// Package vclock implements vector clocks for happens-before race
+// detection (the TSAN stand-in in internal/race).
+package vclock
+
+import (
+	"fmt"
+	"strings"
+)
+
+// VC is a vector clock: tick counts indexed by thread id. The zero value
+// is a usable all-zero clock.
+type VC struct {
+	ticks []uint64
+}
+
+// New returns an empty clock.
+func New() *VC { return &VC{} }
+
+func (v *VC) grow(n int) {
+	for len(v.ticks) <= n {
+		v.ticks = append(v.ticks, 0)
+	}
+}
+
+// Get returns the tick for thread tid.
+func (v *VC) Get(tid int) uint64 {
+	if tid < 0 || tid >= len(v.ticks) {
+		return 0
+	}
+	return v.ticks[tid]
+}
+
+// Set sets the tick for thread tid.
+func (v *VC) Set(tid int, tick uint64) {
+	if tid < 0 {
+		return
+	}
+	v.grow(tid)
+	v.ticks[tid] = tick
+}
+
+// Tick increments thread tid's component and returns the new value.
+func (v *VC) Tick(tid int) uint64 {
+	v.grow(tid)
+	v.ticks[tid]++
+	return v.ticks[tid]
+}
+
+// Join sets v to the component-wise maximum of v and o.
+func (v *VC) Join(o *VC) {
+	if o == nil {
+		return
+	}
+	v.grow(len(o.ticks) - 1)
+	for i, t := range o.ticks {
+		if t > v.ticks[i] {
+			v.ticks[i] = t
+		}
+	}
+}
+
+// Copy returns an independent copy.
+func (v *VC) Copy() *VC {
+	return &VC{ticks: append([]uint64(nil), v.ticks...)}
+}
+
+// LeqAll reports whether v <= o component-wise (v happened before or
+// equals o).
+func (v *VC) LeqAll(o *VC) bool {
+	for i, t := range v.ticks {
+		if t > o.Get(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// HappensBefore reports whether an event at (tid, tick) is ordered before
+// everything this clock has seen — the epoch test FastTrack uses:
+// tick <= v[tid].
+func (v *VC) HappensBefore(tid int, tick uint64) bool {
+	return tick <= v.Get(tid)
+}
+
+func (v *VC) String() string {
+	parts := make([]string, len(v.ticks))
+	for i, t := range v.ticks {
+		parts[i] = fmt.Sprintf("%d", t)
+	}
+	return "<" + strings.Join(parts, ",") + ">"
+}

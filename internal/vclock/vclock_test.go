@@ -1,0 +1,144 @@
+package vclock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func fromSlice(ticks []uint64) *VC {
+	v := New()
+	for i, t := range ticks {
+		v.Set(i, t)
+	}
+	return v
+}
+
+func TestBasics(t *testing.T) {
+	v := New()
+	if v.Get(3) != 0 {
+		t.Errorf("fresh clock should be zero")
+	}
+	if got := v.Tick(2); got != 1 {
+		t.Errorf("tick = %d, want 1", got)
+	}
+	v.Tick(2)
+	if v.Get(2) != 2 {
+		t.Errorf("get = %d, want 2", v.Get(2))
+	}
+	v.Set(0, 7)
+	if v.String() != "<7,0,2>" {
+		t.Errorf("string = %s", v.String())
+	}
+}
+
+func TestJoinIsComponentwiseMax(t *testing.T) {
+	a := fromSlice([]uint64{1, 5, 0})
+	b := fromSlice([]uint64{3, 2, 0, 9})
+	a.Join(b)
+	want := []uint64{3, 5, 0, 9}
+	for i, w := range want {
+		if a.Get(i) != w {
+			t.Errorf("joined[%d] = %d, want %d", i, a.Get(i), w)
+		}
+	}
+	a.Join(nil) // must not panic
+}
+
+func TestHappensBefore(t *testing.T) {
+	v := fromSlice([]uint64{4, 1})
+	if !v.HappensBefore(0, 4) {
+		t.Error("tick 4 of t0 should be ordered before clock with v[0]=4")
+	}
+	if v.HappensBefore(0, 5) {
+		t.Error("tick 5 of t0 must not be ordered before clock with v[0]=4")
+	}
+	if v.HappensBefore(7, 1) {
+		t.Error("unseen thread tick must not be ordered")
+	}
+}
+
+func TestCopyIndependence(t *testing.T) {
+	a := fromSlice([]uint64{1, 2})
+	b := a.Copy()
+	b.Tick(0)
+	if a.Get(0) != 1 {
+		t.Error("copy aliases original")
+	}
+}
+
+// Lattice laws, property-based.
+
+func clamp(raw []uint64) []uint64 {
+	if len(raw) > 8 {
+		raw = raw[:8]
+	}
+	out := make([]uint64, len(raw))
+	for i, v := range raw {
+		out[i] = v % 1000
+	}
+	return out
+}
+
+func TestJoinCommutative(t *testing.T) {
+	f := func(x, y []uint64) bool {
+		a1, b1 := fromSlice(clamp(x)), fromSlice(clamp(y))
+		a2, b2 := fromSlice(clamp(x)), fromSlice(clamp(y))
+		a1.Join(b1)
+		b2.Join(a2)
+		return a1.LeqAll(b2) && b2.LeqAll(a1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJoinIdempotent(t *testing.T) {
+	f := func(x []uint64) bool {
+		a := fromSlice(clamp(x))
+		b := a.Copy()
+		a.Join(b)
+		return a.LeqAll(b) && b.LeqAll(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJoinUpperBound(t *testing.T) {
+	f := func(x, y []uint64) bool {
+		a, b := fromSlice(clamp(x)), fromSlice(clamp(y))
+		j := a.Copy()
+		j.Join(b)
+		return a.LeqAll(j) && b.LeqAll(j)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJoinAssociative(t *testing.T) {
+	f := func(x, y, z []uint64) bool {
+		a1, b1, c1 := fromSlice(clamp(x)), fromSlice(clamp(y)), fromSlice(clamp(z))
+		a1.Join(b1)
+		a1.Join(c1)
+
+		b2, c2 := fromSlice(clamp(y)), fromSlice(clamp(z))
+		b2.Join(c2)
+		a2 := fromSlice(clamp(x))
+		a2.Join(b2)
+		return a1.LeqAll(a2) && a2.LeqAll(a1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLeqAllReflexiveAndAntisymmetric(t *testing.T) {
+	f := func(x []uint64) bool {
+		a := fromSlice(clamp(x))
+		return a.LeqAll(a.Copy())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,416 @@
+// Package vuln implements OWL's static vulnerability analyzer — Algorithm 1
+// of the paper (§6.1). Starting from the load instruction that reads a
+// race's corrupted memory, plus that load's runtime call stack, it performs
+// an inter-procedural forward data- and control-flow analysis looking for
+// the five explicit vulnerable-site types (§3.2). The traversal is
+// call-stack directed: it scans the current function and its callees, then
+// pops to the caller through the return value — exploiting the study's
+// observation that bugs and their attack sites share call-stack prefixes,
+// which is what keeps the analysis both accurate and scalable (§4.1).
+//
+// The output — the vulnerable site, whether it is reached through data or
+// control dependence, and the corrupted branch statements on the way — is
+// the paper's "vulnerable input hint" (Figure 5).
+package vuln
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/conanalysis/owl/internal/callstack"
+	"github.com/conanalysis/owl/internal/interp"
+	"github.com/conanalysis/owl/internal/ir"
+)
+
+// DepKind says how corruption reaches the vulnerable site.
+type DepKind int
+
+// Dependence kinds.
+const (
+	DepData DepKind = iota + 1
+	DepCtrl
+)
+
+func (d DepKind) String() string {
+	switch d {
+	case DepData:
+		return "DATA_DEP"
+	case DepCtrl:
+		return "CTRL_DEP"
+	default:
+		return fmt.Sprintf("DepKind(%d)", int(d))
+	}
+}
+
+// Finding is one potential bug-to-attack propagation: a vulnerable site
+// reachable from the corrupted read.
+type Finding struct {
+	// Site is the vulnerable instruction; Kind its category.
+	Site *ir.Instr
+	Kind SiteKind
+	Dep  DepKind
+	// Branches are the corrupted branch instructions controlling the site
+	// — the vulnerable input hints a developer (or the dynamic verifier)
+	// uses to construct attack inputs.
+	Branches []*ir.Instr
+	// Chain is the corrupted-instruction propagation chain from the
+	// starting read towards the site (bounded).
+	Chain []*ir.Instr
+	// Start is the corrupted read the analysis started from.
+	Start *ir.Instr
+	// FnPath is the function chain from the start to the site.
+	FnPath []string
+}
+
+// String renders the finding in the style of the paper's Figure 5.
+func (f *Finding) String() string {
+	var b strings.Builder
+	switch f.Dep {
+	case DepCtrl:
+		b.WriteString("---- Ctrl Dependent Vulnerability----\n")
+	default:
+		b.WriteString("---- Data Dependent Vulnerability----\n")
+	}
+	for _, br := range f.Branches {
+		fmt.Fprintf(&b, "%s %s\n", br.String(), br.Loc())
+	}
+	fmt.Fprintf(&b, "Vulnerable Site [%s]: %s %s\n", f.Kind, f.Site.String(), f.Site.Loc())
+	return b.String()
+}
+
+// Analyzer runs Algorithm 1 over a frozen module.
+type Analyzer struct {
+	Mod   *ir.Module
+	Sites *Registry
+
+	// MaxCalleeDepth bounds recursion into internal callees (default 8).
+	MaxCalleeDepth int
+	// MaxChain bounds the recorded propagation chain (default 64).
+	MaxChain int
+
+	// TrackCtrl enables control-dependence tracking (default true; the
+	// ablation benchmarks disable it to show the Libsafe/SSDB misses).
+	TrackCtrl bool
+	// InterProcedural enables descending into callees and popping to
+	// callers (default true; disabling reproduces the Conseq/Yamaguchi
+	// limitation discussed in §9).
+	InterProcedural bool
+
+	cfgs map[*ir.Func]*ir.CFG
+	ptrs map[*ir.Func]map[string]bool
+}
+
+// NewAnalyzer returns an analyzer with the paper's defaults.
+func NewAnalyzer(mod *ir.Module) *Analyzer {
+	return &Analyzer{
+		Mod:             mod,
+		Sites:           DefaultRegistry(),
+		MaxCalleeDepth:  8,
+		MaxChain:        64,
+		TrackCtrl:       true,
+		InterProcedural: true,
+		cfgs:            make(map[*ir.Func]*ir.CFG),
+		ptrs:            make(map[*ir.Func]map[string]bool),
+	}
+}
+
+// allocaRegs returns the registers of f defined by alloca.
+func (a *Analyzer) allocaRegs(f *ir.Func) map[string]bool {
+	out := map[string]bool{}
+	for _, in := range f.Instrs() {
+		if in.Op == ir.OpAlloca && in.Dst != "" {
+			out[in.Dst] = true
+		}
+	}
+	return out
+}
+
+func (a *Analyzer) cfg(f *ir.Func) *ir.CFG {
+	c := a.cfgs[f]
+	if c == nil {
+		c = ir.BuildCFG(f)
+		a.cfgs[f] = c
+	}
+	return c
+}
+
+// ptrRegs computes the registers of f statically known to hold pointers
+// (a cheap stand-in for LLVM pointer types; see Registry.TypeOf).
+func (a *Analyzer) ptrRegs(f *ir.Func) map[string]bool {
+	if p := a.ptrs[f]; p != nil {
+		return p
+	}
+	p := make(map[string]bool)
+	for changed := true; changed; {
+		changed = false
+		mark := func(dst string) {
+			if dst != "" && !p[dst] {
+				p[dst] = true
+				changed = true
+			}
+		}
+		for _, in := range f.Instrs() {
+			switch in.Op {
+			case ir.OpGep, ir.OpAddrOf, ir.OpAlloca, ir.OpFunc:
+				mark(in.Dst)
+			case ir.OpCall:
+				if c := in.Callee(); c.Kind == ir.OperandFunc && c.Name == "malloc" {
+					mark(in.Dst)
+				}
+			case ir.OpPhi:
+				for _, pe := range in.Phis {
+					if pe.Val.Kind == ir.OperandReg && p[pe.Val.Name] {
+						mark(in.Dst)
+					}
+				}
+			case ir.OpBin:
+				if in.Bin == ir.BinAdd || in.Bin == ir.BinSub {
+					for _, o := range in.Args {
+						if o.Kind == ir.OperandReg && p[o.Name] {
+							mark(in.Dst)
+						}
+					}
+				}
+			}
+		}
+	}
+	a.ptrs[f] = p
+	return p
+}
+
+// walk holds one analysis invocation's shared state (the paper's globals:
+// corrupted-instruction set, reported-exploit set).
+type walk struct {
+	a        *Analyzer
+	findings []*Finding
+	reported map[string]bool
+	chain    []*ir.Instr
+	start    *ir.Instr
+	fnPath   []string
+}
+
+// Analyze runs Algorithm 1 from the corrupted read si with its runtime
+// call stack (outermost first, innermost = si's function).
+func (a *Analyzer) Analyze(si *ir.Instr, stack callstack.Stack) []*Finding {
+	if si == nil || si.Fn == nil {
+		return nil
+	}
+	w := &walk{a: a, reported: make(map[string]bool), start: si}
+	w.addChain(si)
+
+	corrupt := map[string]bool{}
+	if si.Dst != "" {
+		corrupt[si.Dst] = true
+	}
+	w.fnPath = []string{si.Fn.Name}
+	retCorrupt := w.doDetect(si.Fn, si.Index+1, corrupt, false, nil, 0)
+
+	if a.InterProcedural {
+		// Pop the call stack: continue in each caller from just after the
+		// call site, with the call's result corrupted iff the callee's
+		// return value was.
+		cur := si.Fn
+		for i := len(stack) - 2; i >= 0; i-- {
+			entry := stack[i]
+			caller := a.Mod.Func(entry.Fn)
+			if caller == nil {
+				break
+			}
+			callIn := findCallAt(caller, entry.Pos, cur.Name)
+			if callIn == nil {
+				break
+			}
+			callerCorrupt := map[string]bool{}
+			if retCorrupt && callIn.Dst != "" {
+				callerCorrupt[callIn.Dst] = true
+				w.addChain(callIn)
+			}
+			w.fnPath = append(w.fnPath, caller.Name)
+			retCorrupt = w.doDetect(caller, callIn.Index+1, callerCorrupt, false, nil, 0)
+			cur = caller
+		}
+	}
+	return w.findings
+}
+
+// findCallAt locates the call instruction in caller at the given position
+// (preferring one that calls callee, to disambiguate multi-call lines).
+func findCallAt(caller *ir.Func, pos ir.Pos, callee string) *ir.Instr {
+	var fallback *ir.Instr
+	for _, in := range caller.Instrs() {
+		if !in.IsCall() || in.Pos.Line != pos.Line || in.Pos.File != pos.File {
+			continue
+		}
+		c := in.Callee()
+		if c.Kind == ir.OperandFunc && c.Name == callee {
+			return in
+		}
+		fallback = in
+	}
+	return fallback
+}
+
+func (w *walk) addChain(in *ir.Instr) {
+	if len(w.chain) < w.a.MaxChain {
+		w.chain = append(w.chain, in)
+	}
+}
+
+func (w *walk) report(site *ir.Instr, kind SiteKind, dep DepKind, branches []*ir.Instr) {
+	key := fmt.Sprintf("%s|%d|%d", site.FullName(), kind, dep)
+	if w.reported[key] {
+		return
+	}
+	w.reported[key] = true
+	w.findings = append(w.findings, &Finding{
+		Site:     site,
+		Kind:     kind,
+		Dep:      dep,
+		Branches: append([]*ir.Instr(nil), branches...),
+		Chain:    append([]*ir.Instr(nil), w.chain...),
+		Start:    w.start,
+		FnPath:   append([]string(nil), w.fnPath...),
+	})
+}
+
+// doDetect is the paper's DoDetect: scan f's instructions from index from,
+// propagating the corrupted register set, collecting locally corrupted
+// branches, reporting vulnerable sites, and recursing into internal
+// callees. It returns whether f's return value is corrupted along the
+// scanned path.
+func (w *walk) doDetect(f *ir.Func, from int, corrupt map[string]bool, ctrlDep bool, brCtx []*ir.Instr, depth int) bool {
+	a := w.a
+	cfg := a.cfg(f)
+	ptrRegs := a.ptrRegs(f)
+	var localBrs []*ir.Instr
+	retCorrupt := false
+
+	// corruptSlots tracks function-local alloca slots that received a
+	// corrupted value. Front ends like minic compile mutable locals to
+	// alloca slots (clang -O0 style), so without this, taint would vanish
+	// at the first `int d = racy_global;`. Alloca registers are unique
+	// SSA values, so this needs no general pointer analysis — the same
+	// reasoning the paper uses to avoid alias analysis (§6.1).
+	allocas := a.allocaRegs(f)
+	corruptSlots := map[string]bool{}
+
+	isCorrupt := func(o ir.Operand) bool {
+		return o.Kind == ir.OperandReg && corrupt[o.Name]
+	}
+
+	for _, in := range f.Instrs() {
+		if in.Index < from {
+			continue
+		}
+		// Control-dependence on a locally corrupted branch.
+		ctrlFlag := false
+		var ctrlBrs []*ir.Instr
+		if a.TrackCtrl {
+			for _, cbr := range localBrs {
+				if cfg.IsCtrlDependent(in, cbr) {
+					ctrlFlag = true
+					ctrlBrs = append(ctrlBrs, cbr)
+				}
+			}
+		}
+		inCtrl := (ctrlDep || ctrlFlag) && a.TrackCtrl
+
+		if inCtrl {
+			if kind, ok := a.Sites.TypeOf(in, ptrRegs); ok {
+				w.report(in, kind, DepCtrl, append(append([]*ir.Instr(nil), brCtx...), ctrlBrs...))
+			}
+			// A return (or a phi merge) that only executes because a
+			// corrupted branch chose it carries the corruption to the
+			// caller by control: the Libsafe stack_check "return 0" at
+			// line 146 is exactly this.
+			if in.Op == ir.OpRet {
+				retCorrupt = true
+			}
+			if in.Op == ir.OpPhi && in.Dst != "" {
+				corrupt[in.Dst] = true
+				w.addChain(in)
+			}
+		}
+
+		switch {
+		case in.IsCall():
+			argCorrupt := false
+			for _, arg := range in.CallArgs() {
+				if isCorrupt(arg) {
+					argCorrupt = true
+					break
+				}
+			}
+			calleeCorrupt := isCorrupt(in.Callee())
+			if argCorrupt || calleeCorrupt {
+				if in.Dst != "" {
+					corrupt[in.Dst] = true
+				}
+				w.addChain(in)
+				if kind, ok := a.Sites.TypeOf(in, ptrRegs); ok {
+					w.report(in, kind, DepData, append(append([]*ir.Instr(nil), brCtx...), ctrlBrs...))
+				}
+			}
+			if a.InterProcedural && depth < a.MaxCalleeDepth {
+				if c := in.Callee(); c.Kind == ir.OperandFunc && !interp.IsIntrinsic(c.Name) {
+					if callee := a.Mod.Func(c.Name); callee != nil && callee != f {
+						calleeSet := map[string]bool{}
+						for i, arg := range in.CallArgs() {
+							if isCorrupt(arg) && i < len(callee.Params) {
+								calleeSet[callee.Params[i]] = true
+							}
+						}
+						w.fnPath = append(w.fnPath, callee.Name)
+						subRet := w.doDetect(callee, 0, calleeSet,
+							ctrlDep || ctrlFlag, append(append([]*ir.Instr(nil), brCtx...), ctrlBrs...), depth+1)
+						w.fnPath = w.fnPath[:len(w.fnPath)-1]
+						if subRet && in.Dst != "" {
+							corrupt[in.Dst] = true
+							w.addChain(in)
+						}
+					}
+				}
+			}
+
+		default:
+			// Taint through local slots: a corrupted value stored into an
+			// alloca slot (or any store control-dependent on corrupted
+			// state, e.g. short-circuit lowering) taints the slot; loads
+			// from tainted slots are corrupted.
+			if in.Op == ir.OpStore && in.Args[1].Kind == ir.OperandReg &&
+				allocas[in.Args[1].Name] &&
+				(isCorrupt(in.Args[0]) || inCtrl) {
+				corruptSlots[in.Args[1].Name] = true
+			}
+			if in.Op == ir.OpLoad && in.Args[0].Kind == ir.OperandReg &&
+				corruptSlots[in.Args[0].Name] && in.Dst != "" {
+				corrupt[in.Dst] = true
+				w.addChain(in)
+			}
+			opCorrupt := false
+			for _, o := range in.Uses() {
+				if o.Kind == ir.OperandReg && corrupt[o.Name] {
+					opCorrupt = true
+					break
+				}
+			}
+			if opCorrupt {
+				if kind, ok := a.Sites.TypeOf(in, ptrRegs); ok {
+					w.report(in, kind, DepData, append(append([]*ir.Instr(nil), brCtx...), ctrlBrs...))
+				}
+				if in.Dst != "" {
+					corrupt[in.Dst] = true
+					w.addChain(in)
+				}
+				if in.IsBranch() {
+					localBrs = append(localBrs, in)
+					w.addChain(in)
+				}
+				if in.Op == ir.OpRet {
+					retCorrupt = true
+				}
+			}
+		}
+	}
+	return retCorrupt
+}

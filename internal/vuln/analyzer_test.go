@@ -1,0 +1,330 @@
+package vuln
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/conanalysis/owl/internal/callstack"
+	"github.com/conanalysis/owl/internal/ir"
+)
+
+// libsafeSrc is a miniature of the paper's Figure 1: a racy read of @dying
+// in stack_check control-determines whether libsafe_strcpy performs the
+// overflow check before calling strcpy.
+const libsafeSrc = `
+global @dying = 0
+
+func @stack_check(%dst) {
+entry:
+  %d = load @dying
+  %c = icmp ne %d, 0
+  br %c, bypass, check
+bypass:
+  ret 0
+check:
+  ret 1
+}
+
+func @libsafe_strcpy(%dst, %src) {
+entry:
+  %ok = call @stack_check(%dst)
+  %c = icmp eq %ok, 0
+  br %c, docopy, checked
+docopy:
+  %r = call @strcpy(%dst, %src)
+  ret %r
+checked:
+  %r2 = call @strcpy(%dst, %src)
+  ret %r2
+}
+
+func @main() {
+entry:
+  %buf = call @malloc(4)
+  %s = call @malloc(8)
+  %r = call @libsafe_strcpy(%buf, %s)
+  ret 0
+}
+`
+
+// loadOf returns the load instruction reading @name in fn.
+func loadOf(t *testing.T, mod *ir.Module, fn, name string) *ir.Instr {
+	t.Helper()
+	for _, in := range mod.Func(fn).Instrs() {
+		if in.Op == ir.OpLoad && in.Args[0].Kind == ir.OperandGlobal && in.Args[0].Name == name {
+			return in
+		}
+	}
+	t.Fatalf("no load of @%s in @%s", name, fn)
+	return nil
+}
+
+// callTo returns the first call to callee in fn.
+func callTo(t *testing.T, mod *ir.Module, fn, callee string) *ir.Instr {
+	t.Helper()
+	for _, in := range mod.Func(fn).Instrs() {
+		if in.IsCall() && in.Callee().Kind == ir.OperandFunc && in.Callee().Name == callee {
+			return in
+		}
+	}
+	t.Fatalf("no call to @%s in @%s", callee, fn)
+	return nil
+}
+
+// libsafeStack builds the runtime stack of the corrupted read: main ->
+// libsafe_strcpy -> stack_check, with call-site positions.
+func libsafeStack(t *testing.T, mod *ir.Module) callstack.Stack {
+	t.Helper()
+	readIn := loadOf(t, mod, "stack_check", "dying")
+	callSC := callTo(t, mod, "libsafe_strcpy", "stack_check")
+	callLS := callTo(t, mod, "main", "libsafe_strcpy")
+	return callstack.Stack{
+		{Fn: "main", Pos: callLS.Pos},
+		{Fn: "libsafe_strcpy", Pos: callSC.Pos},
+		{Fn: "stack_check", Pos: readIn.Pos},
+	}
+}
+
+func TestLibsafeControlDependentAttackFound(t *testing.T) {
+	mod := ir.MustParse("libsafe.oir", libsafeSrc)
+	a := NewAnalyzer(mod)
+	readIn := loadOf(t, mod, "stack_check", "dying")
+
+	findings := a.Analyze(readIn, libsafeStack(t, mod))
+	var hit *Finding
+	for _, f := range findings {
+		if f.Kind == SiteMemory && f.Dep == DepCtrl && f.Site.IsCall() &&
+			f.Site.Callee().Name == "strcpy" {
+			hit = f
+			break
+		}
+	}
+	if hit == nil {
+		t.Fatalf("strcpy CTRL_DEP site not found; findings: %v", findingSummaries(findings))
+	}
+	if len(hit.Branches) == 0 {
+		t.Errorf("finding has no branch hints")
+	}
+	// The branch hint must be the corrupted if in libsafe_strcpy (the
+	// paper's intercept.c:164 analogue).
+	foundCallerBr := false
+	for _, br := range hit.Branches {
+		if br.Fn.Name == "libsafe_strcpy" {
+			foundCallerBr = true
+		}
+	}
+	if !foundCallerBr {
+		t.Errorf("branch hints %v lack the caller's corrupted branch", hit.Branches)
+	}
+	if got := hit.String(); !strings.Contains(got, "Ctrl Dependent") {
+		t.Errorf("report rendering: %q", got)
+	}
+}
+
+func TestControlTrackingAblationMissesLibsafe(t *testing.T) {
+	mod := ir.MustParse("libsafe.oir", libsafeSrc)
+	a := NewAnalyzer(mod)
+	a.TrackCtrl = false
+	readIn := loadOf(t, mod, "stack_check", "dying")
+	findings := a.Analyze(readIn, libsafeStack(t, mod))
+	for _, f := range findings {
+		if f.Site.IsCall() && f.Site.Callee().Kind == ir.OperandFunc && f.Site.Callee().Name == "strcpy" {
+			t.Fatalf("pure data-flow analysis should miss the control-dependent strcpy site")
+		}
+	}
+}
+
+func TestInterProceduralAblationMissesCrossFunctionSite(t *testing.T) {
+	mod := ir.MustParse("libsafe.oir", libsafeSrc)
+	a := NewAnalyzer(mod)
+	a.InterProcedural = false
+	readIn := loadOf(t, mod, "stack_check", "dying")
+	findings := a.Analyze(readIn, libsafeStack(t, mod))
+	for _, f := range findings {
+		if f.Site.Fn.Name != "stack_check" {
+			t.Fatalf("intra-procedural analysis must not reach %s in @%s",
+				f.Site, f.Site.Fn.Name)
+		}
+	}
+}
+
+const dataDepSrc = `
+global @len = 0
+
+func @main() {
+entry:
+  %n = load @len
+  %buf = call @malloc(8)
+  %src = call @malloc(8)
+  %r = call @memcpy(%buf, %src, %n)
+  ret 0
+}
+`
+
+func TestDataDependentSiteFound(t *testing.T) {
+	mod := ir.MustParse("data.oir", dataDepSrc)
+	a := NewAnalyzer(mod)
+	readIn := loadOf(t, mod, "main", "len")
+	st := callstack.Stack{{Fn: "main", Pos: readIn.Pos}}
+	findings := a.Analyze(readIn, st)
+	var hit *Finding
+	for _, f := range findings {
+		if f.Kind == SiteMemory && f.Dep == DepData && f.Site.IsCall() &&
+			f.Site.Callee().Name == "memcpy" {
+			hit = f
+		}
+	}
+	if hit == nil {
+		t.Fatalf("memcpy DATA_DEP site not found; findings: %v", findingSummaries(findings))
+	}
+	if len(hit.Chain) < 2 {
+		t.Errorf("chain too short: %v", hit.Chain)
+	}
+}
+
+const indirectSrc = `
+global @fptr = 0
+
+func @dispatch() {
+entry:
+  %f = load @fptr
+  %c = icmp ne %f, 0
+  br %c, callit, out
+callit:
+  call %f()
+  ret 0
+out:
+  ret 0
+}
+`
+
+func TestCorruptedFunctionPointerIsNullDerefSite(t *testing.T) {
+	mod := ir.MustParse("ind.oir", indirectSrc)
+	a := NewAnalyzer(mod)
+	readIn := loadOf(t, mod, "dispatch", "fptr")
+	st := callstack.Stack{{Fn: "dispatch", Pos: readIn.Pos}}
+	findings := a.Analyze(readIn, st)
+	found := false
+	for _, f := range findings {
+		if f.Kind == SiteNullDeref && f.Site.IsCall() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("indirect call through corrupted pointer not flagged; findings: %v",
+			findingSummaries(findings))
+	}
+}
+
+const privSrc = `
+global @is_admin = 0
+
+func @become(%uid) {
+entry:
+  call @setuid(%uid)
+  ret 0
+}
+func @main() {
+entry:
+  %a = load @is_admin
+  %c = icmp ne %a, 0
+  br %c, admin, user
+admin:
+  %r = call @become(0)
+  ret 0
+user:
+  ret 0
+}
+`
+
+func TestPrivilegeSiteInCalleeViaControlDep(t *testing.T) {
+	mod := ir.MustParse("priv.oir", privSrc)
+	a := NewAnalyzer(mod)
+	readIn := loadOf(t, mod, "main", "is_admin")
+	st := callstack.Stack{{Fn: "main", Pos: readIn.Pos}}
+	findings := a.Analyze(readIn, st)
+	found := false
+	for _, f := range findings {
+		if f.Kind == SitePrivilege && f.Dep == DepCtrl {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("setuid site in callee not flagged via control dep; findings: %v",
+			findingSummaries(findings))
+	}
+}
+
+func TestReturnValuePropagationToCaller(t *testing.T) {
+	// The corrupted value leaves the bug function through its return
+	// value and reaches a site in the caller (no control flow involved).
+	src := `
+global @size = 0
+
+func @get_size() {
+entry:
+  %s = load @size
+  ret %s
+}
+func @main() {
+entry:
+  %n = call @get_size()
+  %dst = call @malloc(8)
+  %src = call @malloc(8)
+  %r = call @memcpy(%dst, %src, %n)
+  ret 0
+}
+`
+	mod := ir.MustParse("retprop.oir", src)
+	a := NewAnalyzer(mod)
+	readIn := loadOf(t, mod, "get_size", "size")
+	callGS := callTo(t, mod, "main", "get_size")
+	st := callstack.Stack{
+		{Fn: "main", Pos: callGS.Pos},
+		{Fn: "get_size", Pos: readIn.Pos},
+	}
+	findings := a.Analyze(readIn, st)
+	found := false
+	for _, f := range findings {
+		if f.Site.IsCall() && f.Site.Callee().Name == "memcpy" && f.Dep == DepData {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("return-value propagation missed; findings: %v", findingSummaries(findings))
+	}
+}
+
+func TestDeduplication(t *testing.T) {
+	mod := ir.MustParse("libsafe.oir", libsafeSrc)
+	a := NewAnalyzer(mod)
+	readIn := loadOf(t, mod, "stack_check", "dying")
+	findings := a.Analyze(readIn, libsafeStack(t, mod))
+	seen := map[string]bool{}
+	for _, f := range findings {
+		key := f.Site.FullName() + f.Dep.String() + f.Kind.String()
+		if seen[key] {
+			t.Errorf("duplicate finding: %s", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestRegistryExtensible(t *testing.T) {
+	r := DefaultRegistry()
+	r.Add("my_custom_sink", SiteFork)
+	if k, ok := r.CallKind("my_custom_sink"); !ok || k != SiteFork {
+		t.Errorf("custom sink not registered")
+	}
+	if _, ok := r.CallKind("print"); ok {
+		t.Errorf("print should not be a vulnerable site")
+	}
+}
+
+func findingSummaries(fs []*Finding) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.Kind.String() + "/" + f.Dep.String() + " at " + f.Site.String()
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+package vuln
+
+import (
+	"testing"
+
+	"github.com/conanalysis/owl/internal/callstack"
+	"github.com/conanalysis/owl/internal/ir"
+)
+
+// BenchmarkAnalyze measures Algorithm 1 on the Libsafe-style module (the
+// paper's Table 3 A.C. column measures the same stage per report).
+func BenchmarkAnalyze(b *testing.B) {
+	mod := ir.MustParse("libsafe.oir", libsafeSrc)
+	var readIn *ir.Instr
+	for _, in := range mod.Func("stack_check").Instrs() {
+		if in.Op == ir.OpLoad {
+			readIn = in
+		}
+	}
+	var callSC, callLS *ir.Instr
+	for _, in := range mod.Func("libsafe_strcpy").Instrs() {
+		if in.IsCall() && in.Callee().Name == "stack_check" {
+			callSC = in
+		}
+	}
+	for _, in := range mod.Func("main").Instrs() {
+		if in.IsCall() && in.Callee().Name == "libsafe_strcpy" {
+			callLS = in
+		}
+	}
+	stack := callstack.Stack{
+		{Fn: "main", Pos: callLS.Pos},
+		{Fn: "libsafe_strcpy", Pos: callSC.Pos},
+		{Fn: "stack_check", Pos: readIn.Pos},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := NewAnalyzer(mod)
+		if len(a.Analyze(readIn, stack)) == 0 {
+			b.Fatal("no findings")
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package vuln
+
+import (
+	"fmt"
+
+	"github.com/conanalysis/owl/internal/ir"
+)
+
+// SiteKind is one of the paper's five explicit vulnerable-site categories
+// (§3.2): memory operations, NULL pointer dereferences, privilege
+// operations, file operations, and process-forking operations. The study
+// found these categories have independent consequences, so "more types can
+// be easily added" — which Registry supports.
+type SiteKind int
+
+// Vulnerable-site kinds.
+const (
+	SiteMemory SiteKind = iota + 1
+	SiteNullDeref
+	SitePrivilege
+	SiteFile
+	SiteFork
+)
+
+func (k SiteKind) String() string {
+	switch k {
+	case SiteMemory:
+		return "memory operation"
+	case SiteNullDeref:
+		return "pointer dereference"
+	case SitePrivilege:
+		return "privilege operation"
+	case SiteFile:
+		return "file operation"
+	case SiteFork:
+		return "process-forking operation"
+	default:
+		return fmt.Sprintf("SiteKind(%d)", int(k))
+	}
+}
+
+// Registry maps intrinsic callees to site kinds and classifies
+// instructions as vulnerable-site types. Use DefaultRegistry (the paper's
+// five types) or extend it with Add.
+type Registry struct {
+	byName map[string]SiteKind
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]SiteKind)}
+}
+
+// DefaultRegistry returns the paper's five vulnerable-site types mapped
+// onto the runtime's intrinsics.
+func DefaultRegistry() *Registry {
+	r := NewRegistry()
+	// Memory operations (e.g. strcpy() in the Libsafe attack, memcpy() in
+	// Apache #25520; free() feeds double-free consequences).
+	r.Add("strcpy", SiteMemory)
+	r.Add("memcpy", SiteMemory)
+	r.Add("memset", SiteMemory)
+	r.Add("free", SiteMemory)
+	// Privilege operations (e.g. setuid(); MySQL #24988 ACL corruption).
+	r.Add("setuid", SitePrivilege)
+	// File operations (e.g. access(); TOCTOU-adjacent sites).
+	r.Add("access", SiteFile)
+	r.Add("open", SiteFile)
+	r.Add("write", SiteFile)
+	// Process-forking operations (e.g. eval() in shell scripts).
+	r.Add("exec", SiteFork)
+	r.Add("fork", SiteFork)
+	return r
+}
+
+// Add registers callee name as a vulnerable site of the given kind.
+func (r *Registry) Add(name string, kind SiteKind) { r.byName[name] = kind }
+
+// CallKind returns the site kind for a call to name, if registered.
+func (r *Registry) CallKind(name string) (SiteKind, bool) {
+	k, ok := r.byName[name]
+	return k, ok
+}
+
+// TypeOf classifies an instruction as a vulnerable-site *type*,
+// independent of corruption — the paper's "i.type() ∈ vuls" test.
+// ptrRegs is the set of registers statically known to hold pointers
+// (derived from gep/addr/alloca/malloc chains); it distinguishes a
+// pointer assignment (the Apache #46215 mycandidate store) from a scalar
+// store, standing in for LLVM's type information.
+func (r *Registry) TypeOf(in *ir.Instr, ptrRegs map[string]bool) (SiteKind, bool) {
+	switch in.Op {
+	case ir.OpCall:
+		callee := in.Callee()
+		if callee.Kind == ir.OperandReg {
+			// Indirect call: a function-pointer dereference (the Linux
+			// uselib f_op->fsync site).
+			return SiteNullDeref, true
+		}
+		if k, ok := r.CallKind(callee.Name); ok {
+			return k, true
+		}
+		return 0, false
+	case ir.OpLoad:
+		if in.Args[0].Kind == ir.OperandReg {
+			return SiteNullDeref, true
+		}
+		return 0, false
+	case ir.OpStore:
+		if in.Args[1].Kind == ir.OperandReg {
+			return SiteNullDeref, true
+		}
+		if v := in.Args[0]; v.Kind == ir.OperandReg && ptrRegs[v.Name] {
+			// Pointer assignment (Apache #46215's mycandidate = worker).
+			return SiteMemory, true
+		}
+		return 0, false
+	default:
+		return 0, false
+	}
+}

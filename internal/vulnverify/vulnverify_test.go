@@ -1,0 +1,138 @@
+package vulnverify
+
+import (
+	"testing"
+
+	"github.com/conanalysis/owl/internal/callstack"
+	"github.com/conanalysis/owl/internal/interp"
+	"github.com/conanalysis/owl/internal/ir"
+	"github.com/conanalysis/owl/internal/raceverify"
+	"github.com/conanalysis/owl/internal/vuln"
+)
+
+// reachableSrc has a racy flag that (for some schedules) steers main into
+// the strcpy overflow arm.
+const reachableSrc = `
+global @dying = 0
+global @payload = "AAAAAAAAAA"
+
+func @attacker() {
+entry:
+  call @io_delay(2)
+  store 1, @dying
+  ret 0
+}
+func @main() {
+entry:
+  %t = call @spawn(@attacker)
+  call @io_delay(2)
+  %d = load @dying
+  %c = icmp ne %d, 0
+  br %c, bypass, checked
+bypass:
+  %buf = call @malloc(4)
+  %src = addr @payload
+  %r = call @strcpy(%buf, %src)
+  %j = call @join(%t)
+  ret 0
+checked:
+  %j2 = call @join(%t)
+  ret 0
+}
+`
+
+// unreachableSrc guards the site with a branch on a constant that never
+// allows it.
+const unreachableSrc = `
+global @gate = 0
+
+func @main() {
+entry:
+  %g = load @gate
+  %c = icmp ne %g, 0
+  br %c, danger, safe
+danger:
+  %buf = call @malloc(2)
+  %r = call @memset(%buf, 0, 2)
+  ret 0
+safe:
+  ret 0
+}
+`
+
+func analyze(t *testing.T, src, global string) (*ir.Module, []*vuln.Finding) {
+	t.Helper()
+	mod := ir.MustParse("vv_test.oir", src)
+	var readIn *ir.Instr
+	for _, in := range mod.Func("main").Instrs() {
+		if in.Op == ir.OpLoad && in.Args[0].Kind == ir.OperandGlobal && in.Args[0].Name == global {
+			readIn = in
+		}
+	}
+	if readIn == nil {
+		t.Fatalf("no load of @%s", global)
+	}
+	a := vuln.NewAnalyzer(mod)
+	st := callstack.Stack{{Fn: "main", Pos: readIn.Pos}}
+	return mod, a.Analyze(readIn, st)
+}
+
+func factory(mod *ir.Module) raceverify.MachineFactory {
+	return func(s interp.Scheduler, bp interp.BreakpointFunc) (*interp.Machine, error) {
+		return interp.New(interp.Config{Module: mod, Sched: s, Breakpoint: bp, MaxSteps: 100000})
+	}
+}
+
+func findSite(t *testing.T, findings []*vuln.Finding, callee string) *vuln.Finding {
+	t.Helper()
+	for _, f := range findings {
+		if f.Site.IsCall() && f.Site.Callee().Kind == ir.OperandFunc && f.Site.Callee().Name == callee {
+			return f
+		}
+	}
+	t.Fatalf("no finding with site @%s among %d findings", callee, len(findings))
+	return nil
+}
+
+func TestReachableSiteVerified(t *testing.T) {
+	mod, findings := analyze(t, reachableSrc, "dying")
+	f := findSite(t, findings, "strcpy")
+	out, err := New().Verify(factory(mod), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Reached {
+		t.Fatalf("reachable site not verified: %s", out)
+	}
+	// Reaching strcpy with the long payload overflows the 4-word buffer.
+	if len(out.Faults) == 0 || out.Faults[0].Kind != interp.FaultOOB {
+		t.Errorf("expected overflow consequence, got %v", out.Faults)
+	}
+}
+
+func TestUnreachableSiteReportsDivergedBranches(t *testing.T) {
+	mod, findings := analyze(t, unreachableSrc, "gate")
+	f := findSite(t, findings, "memset")
+	v := New()
+	v.Attempts = 3
+	out, err := v.Verify(factory(mod), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Reached {
+		t.Fatalf("gate==0 site should be unreachable")
+	}
+	if out.Attempts != 3 {
+		t.Errorf("attempts = %d, want 3", out.Attempts)
+	}
+	if len(out.Branches) == 0 {
+		t.Fatalf("no diverged-branch hints: %s", out)
+	}
+	b := out.Branches[0]
+	if b.Taken {
+		t.Errorf("diverged branch reported taken=then, but the run went to safe")
+	}
+	if b.Executions == 0 {
+		t.Errorf("branch executions not counted")
+	}
+}

@@ -1,0 +1,342 @@
+package workloads
+
+// apacheBody models three studied Apache attacks in one server:
+//
+// 1. Apache bug #25520 (Figure 7) — ap_buffered_log_writer: `buf->outcnt`
+// is shared without synchronization. The LOG_BUFSIZE check at line 1342
+// reads outcnt once; line 1358 re-reads it to compute the copy target. A
+// racing writer can advance outcnt between the two reads, so the memcpy
+// lands past the end of outbuf and corrupts the file descriptor Apache
+// stores right next to the buffer. An attacker who controls log content
+// (their own HTTP request line) chooses the overflowing byte = the fd of a
+// victim's HTML file; the next flush then writes Apache's request log into
+// that HTML file — the paper's previously unknown HTML integrity
+// violation. Layout here: log object = heap block [0..7] outbuf,
+// [8] fd, with outcnt in word [9] (adjacent, like the C struct).
+//
+// 2. Apache bug #46215 (Figure 8) — the load balancer's busy counters:
+// `if (worker->s->busy) worker->s->busy--` re-reads the counter after the
+// check, so two finishing requests can drive an unsigned counter below
+// zero, to 2^64-1-ish (the paper observed 18,446,744,073,709,551,614).
+// find_best_bybusyness compares unsigned, so the underflowed worker looks
+// "busiest" forever and is never assigned again: a DoS on that worker.
+//
+// 3. Apache-2.0.48 double free — two request-cleanup threads race on the
+// `cleanup_done` flag guarding the request pool's free (the "PhP queries"
+// double free of Table 4).
+//
+// Inputs:
+//
+//	input[0] = log writes per logger thread
+//	input[1] = attacker log byte (the fd value to smash into the struct)
+//	input[2] = log payload length in words
+//	input[3] = balancer assignments to make after the workers race
+//	input[4] = run the PHP cleanup pair (0/1)
+//	input[5] = io delay widening the racy windows
+const apacheBody = `
+global @log_obj = 0
+global @outcnt_gate = 0
+global @busy [2]
+global @served [2]
+global @cleanup_done = 0
+global @pool_ptr = 0
+global @in_log_writes = 0
+global @in_log_byte = 0
+global @in_log_len = 0
+global @in_delay = 0
+global @html_marker = 7777
+
+func @flush_log(%buf) {
+entry:
+  %cnt_addr = gep %buf, 9
+  %cnt = load %cnt_addr
+  %fd_addr = gep %buf, 8
+  %fd = load %fd_addr
+  %n = call @write(%fd, %buf, %cnt)
+  store 0, %cnt_addr
+  ret %n
+}
+
+func @ap_buffered_log_writer(%buf, %data, %len) {
+entry:
+  %cnt_addr = gep %buf, 9
+  %cnt1 = load %cnt_addr
+  %sum = add %cnt1, %len
+  %over = icmp gt %sum, 8
+  br %over, do_flush, append
+do_flush:
+  %r = call @flush_log(%buf)
+  jmp append
+append:
+  %d = load @in_delay
+  call @io_delay(%d)
+  %cnt2 = load %cnt_addr
+  %s = gep %buf, %cnt2
+  %n = call @memcpy(%s, %data, %len)
+  %cnt3 = add %cnt2, %len
+  store %cnt3, %cnt_addr
+  ret 0
+}
+
+func @logger_thread(%data) {
+entry:
+  %buf = load @log_obj
+  %len = load @in_log_len
+  %writes = load @in_log_writes
+  jmp head
+head:
+  %i = phi [entry: 0], [body: %i2]
+  %c = icmp lt %i, %writes
+  br %c, body, done
+body:
+  %r = call @ap_buffered_log_writer(%buf, %data, %len)
+  %i2 = add %i, 1
+  jmp head
+done:
+  ret 0
+}
+
+func @proxy_worker_finish(%w) {
+entry:
+  %p = addr @busy
+  %q = gep %p, %w
+  %b = load %q
+  %c = icmp ne %b, 0
+  br %c, dec, out
+dec:
+  %d = load @in_delay
+  call @io_delay(%d)
+  %b2 = load %q
+  %b3 = sub %b2, 1
+  store %b3, %q
+  ret 0
+out:
+  ret 0
+}
+
+func @proxy_worker_start(%w) {
+entry:
+  %p = addr @busy
+  %q = gep %p, %w
+  %b = load %q
+  %b2 = add %b, 1
+  store %b2, %q
+  ret 0
+}
+
+func @find_best_bybusyness() {
+entry:
+  %p = addr @busy
+  %b0 = load %p
+  %q1 = gep %p, 1
+  %b1 = load %q1
+  %c = icmp ule %b0, %b1
+  br %c, pick0, pick1
+pick0:
+  %sp0 = addr @served
+  %s0 = load %sp0
+  %s0b = add %s0, 1
+  store %s0b, %sp0
+  ret 0
+pick1:
+  %sp = addr @served
+  %sq = gep %sp, 1
+  %s1 = load %sq
+  %s1b = add %s1, 1
+  store %s1b, %sq
+  ret 1
+}
+
+func @balancer(%k) {
+entry:
+  jmp head
+head:
+  %i = phi [entry: 0], [body: %i2]
+  %c = icmp lt %i, %k
+  br %c, body, done
+body:
+  %w = call @find_best_bybusyness()
+  %i2 = add %i, 1
+  jmp head
+done:
+  ret 0
+}
+
+func @balancer_thread(%k) {
+entry:
+  call @io_delay(1)
+  %r = call @balancer(%k)
+  ret 0
+}
+
+func @php_cleanup() {
+entry:
+  %pool = load @pool_ptr
+  %done = load @cleanup_done
+  %c = icmp ne %done, 0
+  br %c, skip, dofree
+dofree:
+  %d = load @in_delay
+  call @io_delay(%d)
+  store 1, @cleanup_done
+  call @free(%pool)
+  ret 1
+skip:
+  ret 0
+}
+
+func @main() {
+entry:
+  %writes = call @input()
+  %logbyte = call @input()
+  %loglen = call @input()
+  %k = call @input()
+  %php = call @input()
+  %delay = call @input()
+  store %writes, @in_log_writes
+  store %logbyte, @in_log_byte
+  store %loglen, @in_log_len
+  store %delay, @in_delay
+  %nz = call @noise_run()
+
+  ; Victim HTML file is opened first (fd 3), the request log second (fd 4).
+  %hfd = call @open("user/index.html")
+  %m = load @html_marker
+  %mbuf = alloca 1
+  store %m, %mbuf
+  %n0 = call @write(%hfd, %mbuf, 1)
+
+  %buf = call @malloc(10)
+  %lfd = call @open("logs/access_log")
+  %fd_addr = gep %buf, 8
+  store %lfd, %fd_addr
+  store %buf, @log_obj
+
+  ; Attacker-controlled log payload: loglen words of the attacker byte.
+  %data = alloca 4
+  jmp fill
+fill:
+  %i = phi [entry: 0], [fill2: %i2]
+  %c = icmp lt %i, %loglen
+  br %c, fill2, filled
+fill2:
+  %q = gep %data, %i
+  %b = load @in_log_byte
+  store %b, %q
+  %i2 = add %i, 1
+  jmp fill
+filled:
+  %haveLogs = icmp gt %writes, 0
+  br %haveLogs, dologs, balpart
+dologs:
+  %t1 = call @spawn(@logger_thread, %data)
+  %t2 = call @spawn(@logger_thread, %data)
+  %r1 = call @join(%t1)
+  %r2 = call @join(%t2)
+  %buf2 = load @log_obj
+  %fl = call @flush_log(%buf2)
+  jmp balpart
+balpart:
+  %haveBal = icmp gt %k, 0
+  br %haveBal, dobal, phppart
+dobal:
+  %s1 = call @spawn(@proxy_worker_start, 0)
+  %r3 = call @join(%s1)
+  ; The balancer runs concurrently with the finishing requests — the
+  ; paper's race is between the busy-- at line 617 and the comparison
+  ; read at line 1192.
+  %f1 = call @spawn(@proxy_worker_finish, 0)
+  %f2 = call @spawn(@proxy_worker_finish, 0)
+  %bt = call @spawn(@balancer_thread, %k)
+  %r4 = call @join(%f1)
+  %r5 = call @join(%f2)
+  %r6 = call @join(%bt)
+  ; Post-phase for the DoS oracle: fresh assignment counts after the
+  ; underflow (if any) has landed.
+  %sp = addr @served
+  store 0, %sp
+  %sq = gep %sp, 1
+  store 0, %sq
+  %bal = call @balancer(%k)
+  jmp phppart
+phppart:
+  %havePhp = icmp ne %php, 0
+  br %havePhp, dophp, done
+dophp:
+  %pool = call @malloc(4)
+  store %pool, @pool_ptr
+  store 0, @cleanup_done
+  %p1 = call @spawn(@php_cleanup)
+  %p2 = call @spawn(@php_cleanup)
+  %r8 = call @join(%p1)
+  %r9 = call @join(%p2)
+  jmp done
+done:
+  %nw = call @noise_wait()
+  ret 0
+}
+`
+
+// newApache builds the Apache workload (bugs #25520, #46215, and the
+// 2.0.48 double free in one server model).
+func newApache(lvl NoiseLevel) *Workload {
+	spec := noiseSpec{adhoc: 2, solid: 2, gated: 4, flaky: 2, flakySpread: 16}.
+		scale(lvl, noiseSpec{adhoc: 7, solid: 3, gated: 45, flaky: 8, flakySpread: 24})
+	src := apacheBody + genNoise(spec)
+	return &Workload{
+		Name:     "apache",
+		RealName: "Apache-2.0.48/2.2 (bugs 25520, 46215)",
+		Module:   build("apache", src),
+		MaxSteps: 150000,
+		Recipes: []Recipe{
+			{Name: "benign", Inputs: []int64{2, 65, 1, 0, 0, 0},
+				Note: "two loggers, 1-word entries, no balancer or PHP"},
+			{Name: "log-attack", Inputs: []int64{4, 3, 2, 0, 0, 4},
+				Note: "attacker request byte 3 (= victim HTML fd), 2-word entries, widened window"},
+			{Name: "dos-attack", Inputs: []int64{0, 0, 0, 6, 0, 4},
+				Note: "start/finish request pair racing the busy-- decrement, then balance 6 requests"},
+			{Name: "dfree-attack", Inputs: []int64{0, 0, 0, 0, 1, 4},
+				Note: "PhP queries: two cleanup threads race on cleanup_done"},
+		},
+		Attacks: []AttackSpec{
+			{
+				ID:            "Apache-25520",
+				VulnType:      "HTML Integrity / Buffer Overflow",
+				SubtleInput:   "log entries sized to straddle LOG_BUFSIZE",
+				InputRecipe:   "log-attack",
+				Consequence:   ConsequenceHTMLIntegrity,
+				SiteCallee:    "memcpy",
+				SiteFunc:      "ap_buffered_log_writer",
+				RacyVar:       "", // heap: log_obj word 9
+				CrossFunction: false,
+			},
+			{
+				ID:            "Apache-46215",
+				VulnType:      "Integer Overflow DoS",
+				SubtleInput:   "concurrent request finishes on one worker",
+				InputRecipe:   "dos-attack",
+				Consequence:   ConsequenceDoS,
+				SiteCallee:    "",
+				SiteFunc:      "find_best_bybusyness",
+				RacyVar:       "@busy",
+				CrossFunction: true,
+			},
+			{
+				ID:            "Apache-2.0.48-dfree",
+				VulnType:      "Double Free",
+				SubtleInput:   "PhP queries",
+				InputRecipe:   "dfree-attack",
+				Consequence:   ConsequenceDoubleFree,
+				SiteCallee:    "free",
+				SiteFunc:      "php_cleanup",
+				RacyVar:       "@cleanup_done",
+				CrossFunction: false,
+			},
+		},
+		PaperRaceReports: 715,
+		PaperAttacks:     4,
+		PaperLoC:         "290K",
+	}
+}
+
+func init() { register("apache", newApache) }

@@ -1,0 +1,154 @@
+package workloads
+
+// chromeBody models the Chrome-6.0.472.58 use-after-free of Table 4
+// ("Use after free / Js console.profile"): the DevTools profiler object is
+// owned by the inspected page; a navigation destroys it while the
+// profiling thread, started by the JavaScript console.profile() call, is
+// still sampling through it. The model keeps the shape: the profiler is a
+// heap object ([0] = sample-callback function pointer, [1] = sample
+// count); navigation frees it behind a racy `profiling` flag check.
+//
+// Inputs:
+//
+//	input[0] = samples the profiler thread takes
+//	input[1] = delay before navigation destroys the profiler
+//	input[2] = per-sample IO delay (console.profile JS controls pacing)
+const chromeBody = `
+global @profiler_ptr = 0
+global @profiling = 0
+global @frames_rendered = 0
+global @in_samples = 0
+global @in_sample_delay = 0
+
+func @sample_cb(%prof) {
+entry:
+  %cnt_addr = gep %prof, 1
+  %cnt = load %cnt_addr
+  %cnt2 = add %cnt, 1
+  store %cnt2, %cnt_addr
+  ret 0
+}
+
+func @profiler_thread() {
+entry:
+  %n = load @in_samples
+  jmp head
+head:
+  %i = phi [entry: 0], [tick: %i2]
+  %c = icmp lt %i, %n
+  br %c, sample, done
+sample:
+  %on = load @profiling
+  %oc = icmp ne %on, 0
+  br %oc, take, done
+take:
+  %d = load @in_sample_delay
+  call @io_delay(%d)
+  %prof = load @profiler_ptr
+  %pc = icmp ne %prof, 0
+  br %pc, deref, done
+deref:
+  %d2 = load @in_sample_delay
+  call @io_delay(%d2)
+  %cb = load %prof
+  %r = call %cb(%prof)
+  jmp tick
+tick:
+  %i2 = add %i, 1
+  jmp head
+done:
+  ret 0
+}
+
+func @navigate_away(%delay) {
+entry:
+  call @io_delay(%delay)
+  store 0, @profiling
+  %prof = load @profiler_ptr
+  store 0, @profiler_ptr
+  %c = icmp ne %prof, 0
+  br %c, destroy, out
+destroy:
+  call @free(%prof)
+  ret 0
+out:
+  ret 0
+}
+
+func @render_thread() {
+entry:
+  jmp head
+head:
+  %i = phi [entry: 0], [body: %i2]
+  %c = icmp lt %i, 4
+  br %c, body, done
+body:
+  %f = load @frames_rendered
+  %f2 = add %f, 1
+  store %f2, @frames_rendered
+  %i2 = add %i, 1
+  jmp head
+done:
+  ret 0
+}
+
+func @main() {
+entry:
+  %samples = call @input()
+  %navdelay = call @input()
+  %sampledelay = call @input()
+  store %samples, @in_samples
+  store %sampledelay, @in_sample_delay
+  %nz = call @noise_run()
+
+  %prof = call @malloc(2)
+  %cb = func @sample_cb
+  store %cb, %prof
+  store %prof, @profiler_ptr
+  store 1, @profiling
+
+  %t1 = call @spawn(@profiler_thread)
+  %t2 = call @spawn(@navigate_away, %navdelay)
+  %t3 = call @spawn(@render_thread)
+  %r1 = call @join(%t1)
+  %r2 = call @join(%t2)
+  %r3 = call @join(%t3)
+  %nw = call @noise_wait()
+  ret 0
+}
+`
+
+// newChrome builds the Chrome workload (console.profile UAF).
+func newChrome(lvl NoiseLevel) *Workload {
+	spec := noiseSpec{adhoc: 1, solid: 2, gated: 4, flaky: 2, flakySpread: 16}.
+		scale(lvl, noiseSpec{adhoc: 1, solid: 12, gated: 70, flaky: 10, flakySpread: 24})
+	src := chromeBody + genNoise(spec)
+	return &Workload{
+		Name:     "chrome",
+		RealName: "Chrome-6.0.472.58",
+		Module:   build("chrome", src),
+		MaxSteps: 200000,
+		Recipes: []Recipe{
+			{Name: "benign", Inputs: []int64{2, 80, 0},
+				Note: "short profile, navigation long after it finishes"},
+			{Name: "attack", Inputs: []int64{6, 25, 2},
+				Note: "Js console.profile paced to overlap the navigation teardown"},
+		},
+		Attacks: []AttackSpec{{
+			ID:            "Chrome-consoleprofile",
+			VulnType:      "Use after free",
+			SubtleInput:   "Js console.profile",
+			InputRecipe:   "attack",
+			Consequence:   ConsequenceUseAfterFree,
+			SiteCallee:    "",
+			SiteFunc:      "profiler_thread",
+			RacyVar:       "@profiler_ptr",
+			CrossFunction: true,
+		}},
+		PaperRaceReports: 1715,
+		PaperAttacks:     3,
+		PaperLoC:         "3.4M",
+	}
+}
+
+func init() { register("chrome", newChrome) }

@@ -1,0 +1,177 @@
+package workloads
+
+// libsafeSrc models the paper's Figure 1 attack on the Libsafe security
+// library. Libsafe intercepts libc memory functions and checks for stack
+// overflows; when it detects one it sets the global flag `dying` and kills
+// the process shortly after (libsafe_die). Reads of `dying` in
+// stack_check are not protected by any mutex, so between the store at
+// line 1640 and the process exit, another thread's stack_check can read
+// dying==1, return 0 ("don't check"), and libsafe_strcpy falls through to
+// the raw strcpy — a stack overflow past the checks, i.e. code injection.
+//
+// Inputs:
+//
+//	input[0] = attacker payload length (words) for the second strcpy
+//	input[1] = io delay between `dying = 1` and the kill — the paper's
+//	           input-controlled timing that widens the vulnerable window
+//	input[2] = delay before the victim thread attempts its copy
+//
+// The dst buffer holds 8 words, so payload length > 7 overflows iff the
+// check is bypassed.
+const libsafeBody = `
+global @dying = 0
+global @stat_checks = 0
+global @log_idx = 0
+global @log_buf [32]
+global @attack_payload [64]
+
+func @stack_check(%dst) {
+entry:
+  %d = load @dying
+  %c = icmp ne %d, 0
+  br %c, bypass, do_check
+bypass:
+  ret 0
+do_check:
+  %s = load @stat_checks
+  %s2 = add %s, 1
+  store %s2, @stat_checks
+  %n = call @strlen(%dst)
+  ret 1
+}
+
+func @log_event(%what) {
+entry:
+  %i = load @log_idx
+  %p = addr @log_buf
+  %q = gep %p, %i
+  store %what, %q
+  %i2 = add %i, 1
+  %c = icmp lt %i2, 32
+  br %c, ok, wrap
+ok:
+  store %i2, @log_idx
+  ret 0
+wrap:
+  store 0, @log_idx
+  ret 0
+}
+
+func @libsafe_strcpy(%dst, %src) {
+entry:
+  %r = call @log_event(1)
+  %ok = call @stack_check(%dst)
+  %c = icmp eq %ok, 0
+  br %c, raw_copy, checked_copy
+raw_copy:
+  %v = call @strcpy(%dst, %src)
+  ret %v
+checked_copy:
+  %n = call @strlen(%src)
+  %fits = icmp lt %n, 8
+  br %fits, safe, blocked
+safe:
+  %v2 = call @strcpy(%dst, %src)
+  ret %v2
+blocked:
+  %r2 = call @log_event(2)
+  ret 0
+}
+
+func @libsafe_die(%window) {
+entry:
+  %r = call @log_event(3)
+  store 1, @dying
+  call @io_delay(%window)
+  call @exit(1)
+  ret 0
+}
+
+func @overflow_detector() {
+entry:
+  call @io_delay(4)
+  %window = load @in_window
+  %r = call @libsafe_die(%window)
+  ret 0
+}
+
+func @victim(%len) {
+entry:
+  %delay = load @in_victim_delay
+  call @io_delay(%delay)
+  %buf = alloca 8
+  %p = addr @attack_payload
+  %r = call @libsafe_strcpy(%buf, %p)
+  ret %r
+}
+
+global @in_window = 0
+global @in_victim_delay = 0
+
+func @main() {
+entry:
+  %len = call @input()
+  %window = call @input()
+  %vdelay = call @input()
+  store %window, @in_window
+  store %vdelay, @in_victim_delay
+  %nz = call @noise_run()
+  ; Build the attacker payload: len words of 'A' then NUL.
+  %p = addr @attack_payload
+  jmp fill
+fill:
+  %i = phi [entry: 0], [fill2: %i2]
+  %c = icmp lt %i, %len
+  br %c, fill2, filled
+fill2:
+  %q = gep %p, %i
+  store 65, %q
+  %i2 = add %i, 1
+  jmp fill
+filled:
+  %qz = gep %p, %len
+  store 0, %qz
+  %t1 = call @spawn(@victim, %len)
+  %t2 = call @spawn(@overflow_detector)
+  %r1 = call @join(%t1)
+  %r2 = call @join(%t2)
+  %nw = call @noise_wait()
+  ret 0
+}
+`
+
+// newLibsafe builds the Libsafe-2.0-16 workload.
+func newLibsafe(lvl NoiseLevel) *Workload {
+	spec := noiseSpec{solid: 1}.
+		scale(lvl, noiseSpec{solid: 1})
+	src := libsafeBody + genNoise(spec)
+	w := &Workload{
+		Name:     "libsafe",
+		RealName: "Libsafe-2.0-16",
+		Module:   build("libsafe", src),
+		MaxSteps: 60000,
+		Recipes: []Recipe{
+			{Name: "benign", Inputs: []int64{4, 0, 0},
+				Note: "short copy, no timing manipulation"},
+			{Name: "attack", Inputs: []int64{20, 40, 6},
+				Note: "long payload + widened dying->exit window (loops with strcpy)"},
+		},
+		Attacks: []AttackSpec{{
+			ID:            "Libsafe-dying",
+			VulnType:      "Buffer Overflow",
+			SubtleInput:   "Loops with strcpy()",
+			InputRecipe:   "attack",
+			Consequence:   ConsequenceCodeInjection,
+			SiteCallee:    "strcpy",
+			SiteFunc:      "libsafe_strcpy",
+			RacyVar:       "@dying",
+			CrossFunction: true,
+		}},
+		PaperRaceReports: 3,
+		PaperAttacks:     1,
+		PaperLoC:         "3.4K",
+	}
+	return w
+}
+
+func init() { register("libsafe", newLibsafe) }

@@ -1,0 +1,184 @@
+package workloads
+
+// linuxBody models the two studied Linux kernel attacks as a "kernel"
+// workload, detected with the SKI-style schedule explorer instead of the
+// TSAN-style detector (the paper runs SKI on kernels, §6.3).
+//
+// Linux-2.6.10 uselib()/msync() (Figure 2): do_munmap NULLs the shared
+// `file->f_op` while msync_interval is between its `if (file->f_op &&
+// file->f_op->fsync)` check and the `file->f_op->fsync(...)` call; the
+// kernel dereferences a NULL function pointer, and attackers mapped the
+// zero page to run arbitrary code. The paper notes the check and the call
+// have an IO operation between them whose timing attacker inputs control —
+// modelled by the input-driven io_delay between check and use.
+//
+// Linux-2.6.29-style privilege escalation (Table 4 "Syscall parameters"):
+// a credentials-swap window. sys_switch_creds transiently publishes the
+// root cred struct before installing the caller's real cred; a concurrent
+// getuid-check against the stale cred lets the attacker thread setuid(0)
+// and exec a shell — the paper's uselib exploit similarly needed extra
+// syscalls beyond the race to actually get the root shell.
+//
+// Inputs:
+//
+//	input[0] = run the uselib/msync scenario (0/1)
+//	input[1] = run the cred-swap scenario (0/1)
+//	input[2] = io delay between check and use (syscall-parameter timing)
+const linuxBody = `
+global @file_f_op = 0
+global @cred_ptr = 0
+global @init_cred [1]
+global @user_cred [1]
+global @in_delay = 0
+global @syscalls = 0
+
+func @fsync_impl() {
+entry:
+  %s = load @syscalls
+  %s2 = add %s, 1
+  store %s2, @syscalls
+  ret 0
+}
+
+func @msync_interval() {
+entry:
+  %f = load @file_f_op
+  %c = icmp ne %f, 0
+  br %c, has_op, out
+has_op:
+  ; The paper: "the if statement and the file->f_op->fsync() statement
+  ; have an IO operation (not shown) in between".
+  %d = load @in_delay
+  call @io_delay(%d)
+  %f2 = load @file_f_op
+  %r = call %f2()
+  ret 0
+out:
+  ret 0
+}
+
+func @do_munmap() {
+entry:
+  store 0, @file_f_op
+  ret 0
+}
+
+func @sys_switch_creds() {
+entry:
+  ; Transiently publish init (root) creds...
+  %root = addr @init_cred
+  store %root, @cred_ptr
+  %d = load @in_delay
+  call @io_delay(%d)
+  ; ...before installing the caller's own.
+  %user = addr @user_cred
+  store %user, @cred_ptr
+  ret 0
+}
+
+func @attacker_syscall() {
+entry:
+  call @io_delay(1)
+  %cred = load @cred_ptr
+  %c = icmp ne %cred, 0
+  br %c, check, out
+check:
+  %uid = load %cred
+  %isroot = icmp eq %uid, 0
+  br %isroot, escalate, out
+escalate:
+  call @setuid(0)
+  call @exec("/bin/sh")
+  ret 1
+out:
+  ret 0
+}
+
+func @main() {
+entry:
+  %uselib = call @input()
+  %creds = call @input()
+  %delay = call @input()
+  store %delay, @in_delay
+  store 1000, @user_cred
+  store 0, @init_cred
+  %nz = call @noise_run()
+
+  %douselib = icmp ne %uselib, 0
+  br %douselib, uselibpart, credgate
+uselibpart:
+  %h = func @fsync_impl
+  store %h, @file_f_op
+  %t1 = call @spawn(@msync_interval)
+  %t2 = call @spawn(@do_munmap)
+  %r1 = call @join(%t1)
+  %r2 = call @join(%t2)
+  jmp credgate
+credgate:
+  %docreds = icmp ne %creds, 0
+  br %docreds, credpart, finish
+credpart:
+  %user = addr @user_cred
+  store %user, @cred_ptr
+  %t3 = call @spawn(@sys_switch_creds)
+  %t4 = call @spawn(@attacker_syscall)
+  %r3 = call @join(%t3)
+  %r4 = call @join(%t4)
+  jmp finish
+finish:
+  %nw = call @noise_wait()
+  ret 0
+}
+`
+
+// newLinux builds the Linux kernel workload (uselib NULL-func-ptr deref
+// and the cred-swap privilege escalation).
+func newLinux(lvl NoiseLevel) *Workload {
+	spec := noiseSpec{adhoc: 1, solid: 2, flaky: 2, flakySpread: 12}.
+		scale(lvl, noiseSpec{adhoc: 4, solid: 6, flaky: 6, flakySpread: 16})
+	src := linuxBody + genNoise(spec)
+	return &Workload{
+		Name:     "linux",
+		RealName: "Linux-2.6.10/2.6.29",
+		Module:   build("linux", src),
+		Kernel:   true,
+		MaxSteps: 150000,
+		Recipes: []Recipe{
+			{Name: "benign", Inputs: []int64{0, 0, 0},
+				Note: "no racing syscalls"},
+			{Name: "uselib-attack", Inputs: []int64{1, 0, 5},
+				Note: "uselib()+msync() with swap-IO timing (syscall parameters)"},
+			{Name: "cred-attack", Inputs: []int64{0, 1, 5},
+				Note: "cred swap racing a uid check; extra syscalls fetch the root shell"},
+		},
+		Attacks: []AttackSpec{
+			{
+				ID:            "Linux-2.6.10-uselib",
+				VulnType:      "Null Func Ptr Deref",
+				SubtleInput:   "Syscall parameters",
+				InputRecipe:   "uselib-attack",
+				Consequence:   ConsequenceNullDeref,
+				SiteCallee:    "", // indirect call in msync_interval
+				SiteFunc:      "msync_interval",
+				RacyVar:       "@file_f_op",
+				CrossFunction: true,
+			},
+			{
+				ID:            "Linux-2.6.29-cred",
+				VulnType:      "Privilege Escalation",
+				SubtleInput:   "Syscall parameters",
+				InputRecipe:   "cred-attack",
+				Consequence:   ConsequencePrivEscalation,
+				SiteCallee:    "setuid",
+				SiteFunc:      "attacker_syscall",
+				RacyVar:       "@cred_ptr",
+				CrossFunction: false,
+			},
+		},
+		PaperRaceReports: 24641,
+		PaperAttacks:     8,
+		PaperLoC:         "2.8M",
+	}
+}
+
+func init() { register("linux", newLinux) }

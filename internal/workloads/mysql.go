@@ -1,0 +1,241 @@
+package workloads
+
+// mysqlBody models the two studied MySQL attacks:
+//
+// MySQL bug #24988 (MySQL-5.0.27, Table 4 "Access Permission / FLUSH
+// PRIVILEGES"): acl_reload rebuilds the in-memory privilege table without
+// excluding concurrent permission checks. The rebuild transiently leaves a
+// default-allow entry for every user; a connection authenticating inside
+// that window reads the stale "allow" and is granted an administrative
+// session — the paper triggered the corruption within 18 repetitions of
+// "flush privileges;". The model's ACL is a heap table of per-user
+// privilege words; acl_reload writes the default 1 (allow), delays
+// (input-controlled IO), then writes the real 0 (deny) for the attacker.
+//
+// MySQL bug #59464-style (MySQL-5.1.35, Table 4 "Double Free / SET
+// PASSWORD"): two session threads processing SET PASSWORD race on the
+// freed-flag of the shared password scramble buffer and free it twice.
+//
+// Inputs:
+//
+//	input[0] = run the FLUSH PRIVILEGES scenario (0/1)
+//	input[1] = run the SET PASSWORD scenario (0/1)
+//	input[2] = io delay widening the racy windows
+//	input[3] = number of benign SELECT queries served
+const mysqlBody = `
+global @acl_ptr = 0
+global @acl_version = 0
+global @pwd_buf = 0
+global @pwd_freed = 0
+global @queries_served = 0
+global @in_delay = 0
+global @attacker_uid = 7
+
+func @acl_check_access(%user) {
+entry:
+  %tbl = load @acl_ptr
+  %c = icmp ne %tbl, 0
+  br %c, check, deny
+check:
+  %slot = gep %tbl, %user
+  %p = load %slot
+  %allow = icmp ne %p, 0
+  br %allow, grant, deny
+grant:
+  call @setuid(0)
+  ret 1
+deny:
+  ret 0
+}
+
+func @acl_reload() {
+entry:
+  %v = load @acl_version
+  %v2 = add %v, 1
+  store %v2, @acl_version
+  %new = call @malloc(8)
+  ; Transient default-allow init for all users...
+  jmp fill
+fill:
+  %i = phi [entry: 0], [fill2: %i2]
+  %c = icmp lt %i, 8
+  br %c, fill2, swap
+fill2:
+  %slot = gep %new, %i
+  store 1, %slot
+  %i2 = add %i, 1
+  jmp fill
+swap:
+  %old = load @acl_ptr
+  store %new, @acl_ptr
+  ; ...the vulnerable window: the real grants arrive only after IO.
+  %d = load @in_delay
+  call @io_delay(%d)
+  %u = load @attacker_uid
+  %aslot = gep %new, %u
+  store 0, %aslot
+  %oc = icmp ne %old, 0
+  br %oc, freeold, done
+freeold:
+  call @free(%old)
+  jmp done
+done:
+  ret 0
+}
+
+func @flush_privileges_session() {
+entry:
+  %r = call @acl_reload()
+  ret 0
+}
+
+func @attacker_session() {
+entry:
+  %u = load @attacker_uid
+  jmp head
+head:
+  %i = phi [entry: 0], [again: %i2]
+  %c = icmp lt %i, 16
+  br %c, try, giveup
+try:
+  %ok = call @acl_check_access(%u)
+  %won = icmp ne %ok, 0
+  br %won, done, again
+again:
+  call @io_delay(2)
+  %i2 = add %i, 1
+  jmp head
+done:
+  ret 1
+giveup:
+  ret 0
+}
+
+func @set_password_session() {
+entry:
+  %f = load @pwd_freed
+  %c = icmp ne %f, 0
+  br %c, skip, dofree
+dofree:
+  %d = load @in_delay
+  call @io_delay(%d)
+  store 1, @pwd_freed
+  %buf = load @pwd_buf
+  call @free(%buf)
+  ret 1
+skip:
+  ret 0
+}
+
+func @select_session(%n) {
+entry:
+  jmp head
+head:
+  %i = phi [entry: 0], [body: %i2]
+  %c = icmp lt %i, %n
+  br %c, body, done
+body:
+  %q = load @queries_served
+  %q2 = add %q, 1
+  store %q2, @queries_served
+  %i2 = add %i, 1
+  jmp head
+done:
+  ret 0
+}
+
+func @main() {
+entry:
+  %flush = call @input()
+  %setpwd = call @input()
+  %delay = call @input()
+  %selects = call @input()
+  store %delay, @in_delay
+  %nz = call @noise_run()
+
+  ; Boot: initial ACL denies the attacker.
+  %tbl = call @malloc(8)
+  %u = load @attacker_uid
+  %slot = gep %tbl, %u
+  store 0, %slot
+  store %tbl, @acl_ptr
+
+  %sel = call @spawn(@select_session, %selects)
+
+  %doflush = icmp ne %flush, 0
+  br %doflush, flushpart, pwdgate
+flushpart:
+  %t1 = call @spawn(@flush_privileges_session)
+  %t2 = call @spawn(@attacker_session)
+  %r1 = call @join(%t1)
+  %r2 = call @join(%t2)
+  jmp pwdgate
+pwdgate:
+  %dopwd = icmp ne %setpwd, 0
+  br %dopwd, pwdpart, finish
+pwdpart:
+  %buf = call @malloc(4)
+  store %buf, @pwd_buf
+  store 0, @pwd_freed
+  %p1 = call @spawn(@set_password_session)
+  %p2 = call @spawn(@set_password_session)
+  %r3 = call @join(%p1)
+  %r4 = call @join(%p2)
+  jmp finish
+finish:
+  %r5 = call @join(%sel)
+  %nw = call @noise_wait()
+  ret 0
+}
+`
+
+// newMySQL builds the MySQL workload (bugs #24988 and the SET PASSWORD
+// double free).
+func newMySQL(lvl NoiseLevel) *Workload {
+	spec := noiseSpec{adhoc: 1, solid: 2, gated: 4, flaky: 2, flakySpread: 16}.
+		scale(lvl, noiseSpec{adhoc: 6, solid: 6, gated: 60, flaky: 10, flakySpread: 24})
+	src := mysqlBody + genNoise(spec)
+	return &Workload{
+		Name:     "mysql",
+		RealName: "MySQL-5.0.27/5.1.35",
+		Module:   build("mysql", src),
+		MaxSteps: 150000,
+		Recipes: []Recipe{
+			{Name: "benign", Inputs: []int64{0, 0, 0, 4},
+				Note: "plain SELECT traffic"},
+			{Name: "flush-attack", Inputs: []int64{1, 0, 6, 2},
+				Note: "FLUSH PRIVILEGES racing an authenticating connection (bug #24988)"},
+			{Name: "setpwd-attack", Inputs: []int64{0, 1, 4, 2},
+				Note: "two concurrent SET PASSWORD sessions (double free)"},
+		},
+		Attacks: []AttackSpec{
+			{
+				ID:            "MySQL-24988",
+				VulnType:      "Access Permission",
+				SubtleInput:   "FLUSH PRIVILEGES",
+				InputRecipe:   "flush-attack",
+				Consequence:   ConsequencePrivEscalation,
+				SiteCallee:    "setuid",
+				SiteFunc:      "acl_check_access",
+				RacyVar:       "", // heap: acl table slot
+				CrossFunction: true,
+			},
+			{
+				ID:            "MySQL-SETPASSWORD",
+				VulnType:      "Double Free",
+				SubtleInput:   "SET PASSWORD",
+				InputRecipe:   "setpwd-attack",
+				Consequence:   ConsequenceDoubleFree,
+				SiteCallee:    "free",
+				SiteFunc:      "set_password_session",
+				RacyVar:       "@pwd_freed",
+				CrossFunction: false,
+			},
+		},
+		PaperRaceReports: 1123,
+		PaperAttacks:     2,
+		PaperLoC:         "1.5M",
+	}
+}
+
+func init() { register("mysql", newMySQL) }

@@ -1,0 +1,173 @@
+package workloads
+
+// ssdbSrc models the previously unknown SSDB-1.9.2 use-after-free the
+// paper detected (Figure 6, confirmed as CVE-2016-1000324). During server
+// shutdown, SSDB synchronizes its binlog cleaner thread with the ad-hoc
+// flag `thread_quit`; the destructor ~BinlogQueue also NULLs and frees the
+// shared `db` handle. The race: log_clean_thread_func checks `logs->db`
+// (line 359) to break out of its while loop, but the destructor can set
+// `db = NULL` and free it *after* the check. The cleaner then calls
+// del_range, which dereferences `db->Write` — a function-pointer
+// dereference on freed memory: use-after-free plus potential crash.
+//
+// The model keeps the exact structure: the BinlogQueue object is a heap
+// block [0]=db pointer, [1]=thread_quit flag, [2]=write count; the db
+// object is a heap block whose word 0 holds the Write function pointer.
+//
+// Inputs:
+//
+//	input[0] = number of del_range batches per cleaner iteration
+//	input[1] = shutdown delay (io_delay before ~BinlogQueue runs)
+//	input[2] = cleaner IO delay inside the loop (widens the check-to-use
+//	           window, the attack's subtle timing)
+const ssdbBody = `
+global @logs_ptr = 0
+global @served = 0
+global @in_batches = 0
+global @in_cleaner_delay = 0
+
+func @db_write_impl(%db) {
+entry:
+  %v = load %db
+  ret 0
+}
+
+func @del_range(%logs, %start, %end) {
+entry:
+  %db = load %logs
+  %c = icmp ne %db, 0
+  br %c, doit, out
+doit:
+  %delay = load @in_cleaner_delay
+  call @io_delay(%delay)
+  %fp_addr = gep %db, 0
+  %fp = load %fp_addr
+  %r = call %fp(%db)
+  %cnt_addr = gep %logs, 2
+  %cnt = load %cnt_addr
+  %cnt2 = add %cnt, 1
+  store %cnt2, %cnt_addr
+  ret 1
+out:
+  ret 0
+}
+
+func @log_clean_thread_func(%logs) {
+entry:
+  jmp loop
+loop:
+  %quit_addr = gep %logs, 1
+  %quit = load %quit_addr
+  %qc = icmp ne %quit, 0
+  br %qc, done, check_db
+check_db:
+  %db = load %logs
+  %dc = icmp eq %db, 0
+  br %dc, done, work
+work:
+  %delay = load @in_cleaner_delay
+  call @io_delay(%delay)
+  %batches = load @in_batches
+  jmp batch
+batch:
+  %i = phi [work: 0], [batch2: %i2]
+  %bc = icmp lt %i, %batches
+  br %bc, batch2, loop_back
+batch2:
+  %r = call @del_range(%logs, %i, %i)
+  %i2 = add %i, 1
+  jmp batch
+loop_back:
+  jmp loop
+done:
+  ret 0
+}
+
+func @binlog_queue_dtor(%logs) {
+entry:
+  %quit_addr = gep %logs, 1
+  store 1, %quit_addr
+  %db = load %logs
+  store 0, %logs
+  call @free(%db)
+  ret 0
+}
+
+func @serve_requests(%logs) {
+entry:
+  jmp head
+head:
+  %i = phi [entry: 0], [body: %i2]
+  %c = icmp lt %i, 3
+  br %c, body, done
+body:
+  %s = load @served
+  %s2 = add %s, 1
+  store %s2, @served
+  %i2 = add %i, 1
+  jmp head
+done:
+  ret 0
+}
+
+func @main() {
+entry:
+  %batches = call @input()
+  %shutdown_delay = call @input()
+  %cleaner_delay = call @input()
+  store %batches, @in_batches
+  store %cleaner_delay, @in_cleaner_delay
+  %nz = call @noise_run()
+
+  ; Construct the db object (word 0 = Write fn ptr) and the BinlogQueue.
+  %db = call @malloc(2)
+  %w = func @db_write_impl
+  store %w, %db
+  %logs = call @malloc(3)
+  store %db, %logs
+
+  %t1 = call @spawn(@log_clean_thread_func, %logs)
+  %t2 = call @spawn(@serve_requests, %logs)
+  %r2 = call @join(%t2)
+  call @io_delay(%shutdown_delay)
+  %r = call @binlog_queue_dtor(%logs)
+  %r1 = call @join(%t1)
+  %nw = call @noise_wait()
+  ret 0
+}
+`
+
+// newSSDB builds the SSDB-1.9.2 workload.
+func newSSDB(lvl NoiseLevel) *Workload {
+	spec := noiseSpec{solid: 1, gated: 2, flaky: 1, flakySpread: 12}.
+		scale(lvl, noiseSpec{solid: 1, gated: 4, flaky: 1, flakySpread: 16})
+	src := ssdbBody + genNoise(spec)
+	return &Workload{
+		Name:     "ssdb",
+		RealName: "SSDB-1.9.2",
+		Module:   build("ssdb", src),
+		MaxSteps: 80000,
+		Recipes: []Recipe{
+			{Name: "benign", Inputs: []int64{1, 12, 0},
+				Note: "single batch, shutdown long after cleaner finishes a pass"},
+			{Name: "attack", Inputs: []int64{3, 2, 5},
+				Note: "shutdown racing the cleaner; cleaner IO widens check-to-use window"},
+		},
+		Attacks: []AttackSpec{{
+			ID:            "CVE-2016-1000324",
+			VulnType:      "Use after free",
+			SubtleInput:   "compact during shutdown",
+			InputRecipe:   "attack",
+			Consequence:   ConsequenceUseAfterFree,
+			SiteCallee:    "", // the site is the fp load/indirect call in del_range
+			SiteFunc:      "del_range",
+			RacyVar:       "", // heap block: logs[0]
+			CrossFunction: true,
+		}},
+		PaperRaceReports: 12,
+		PaperAttacks:     1,
+		PaperLoC:         "67K",
+	}
+}
+
+func init() { register("ssdb", newSSDB) }
