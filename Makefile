@@ -1,0 +1,37 @@
+# Tier-1 gate and benchmark targets for the OWL reproduction.
+#
+#   make ci              build + vet + test -race (the tier-1 gate)
+#   make test            plain test run
+#   make bench           full benchmark suite (tables, figures, ablations)
+#   make bench-pipeline  parallel-speedup ablation -> BENCH_pipeline.json
+
+GO ?= go
+
+.PHONY: ci build vet test race bench bench-pipeline clean
+
+ci: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# One build per variant (-benchtime 1x): the ablation compares sequential
+# vs workers={1,4,NumCPU} wall clock on the full workload registry. The
+# -json stream (newline-delimited test2json) lands in BENCH_pipeline.json.
+bench-pipeline:
+	$(GO) test -json -run '^$$' -bench 'BenchmarkParallelPipeline' -benchtime 1x . > BENCH_pipeline.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_pipeline.json | sed 's/"Output":"//;s/\\n//' || true
+
+clean:
+	rm -f BENCH_pipeline.json

@@ -13,6 +13,8 @@
 package conanalysis
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -224,6 +226,33 @@ func BenchmarkAblationRaceVerify(b *testing.B) {
 func BenchmarkPipelineLibsafe(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		runPipeline(b, "libsafe", "attack", owl.Options{})
+	}
+}
+
+// BenchmarkParallelPipeline is the DESIGN.md §5 parallel-speedup ablation:
+// the full workload registry built sequentially (BuildTables) versus
+// fanned out over 1, 4, and NumCPU workers (BuildTablesParallel, which
+// also overlaps the §3 study with the pool). The workers=4 run is the
+// acceptance gate — it must be at least ~2x faster than sequential on a
+// 4-core machine. Run with -benchtime=1x: one build per variant is the
+// comparison the ablation wants.
+func BenchmarkParallelPipeline(b *testing.B) {
+	cfg := eval.Config{Noise: workloads.NoiseFull}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eval.BuildTables(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, workers := range []int{1, 4, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.BuildTablesParallel(cfg, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

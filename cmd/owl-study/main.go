@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"github.com/conanalysis/owl/internal/report"
 	"github.com/conanalysis/owl/internal/study"
@@ -29,6 +30,7 @@ func run(args []string) error {
 	var (
 		noise   = fs.String("noise", "light", "workload noise level: light or full")
 		maxRuns = fs.Int("runs", 100, "exploit campaign budget per attack")
+		workers = fs.Int("workers", 1, "study worker pool size (0 = NumCPU, 1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -37,7 +39,10 @@ func run(args []string) error {
 	if *noise == "full" {
 		lvl = workloads.NoiseFull
 	}
-	res, err := study.Run(study.Config{Noise: lvl, MaxRuns: *maxRuns})
+	if *workers <= 0 {
+		*workers = runtime.NumCPU()
+	}
+	res, err := study.Run(study.Config{Noise: lvl, MaxRuns: *maxRuns, Workers: *workers})
 	if err != nil {
 		return err
 	}

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	owl-tables [-table all|1|2|3|4] [-noise full|light]
+//	owl-tables [-table all|1|2|3|4] [-noise full|light] [-workers N] [-metrics out.json]
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"github.com/conanalysis/owl/internal/eval"
+	"github.com/conanalysis/owl/internal/metrics"
 	"github.com/conanalysis/owl/internal/report"
 	"github.com/conanalysis/owl/internal/workloads"
 )
@@ -29,9 +30,10 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("owl-tables", flag.ContinueOnError)
 	var (
-		table   = fs.String("table", "all", "which table to print: all, 1, 2, 3, 4")
-		noise   = fs.String("noise", "full", "workload noise level: light or full")
-		workers = fs.Int("workers", 0, "parallel workload evaluations (0 = NumCPU)")
+		table      = fs.String("table", "all", "which table to print: all, 1, 2, 3, 4")
+		noise      = fs.String("noise", "full", "workload noise level: light or full")
+		workers    = fs.Int("workers", 0, "parallel workload evaluations (0 = NumCPU)")
+		metricsOut = fs.String("metrics", "", `write per-stage metrics JSON to this file ("-" = stdout)`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -40,10 +42,17 @@ func run(args []string) error {
 	if *noise == "light" {
 		lvl = workloads.NoiseLight
 	}
+	var mc *metrics.Collector
+	if *metricsOut != "" {
+		mc = metrics.New()
+	}
 
 	fmt.Printf("building tables (noise=%s)...\n\n", *noise)
-	t, err := eval.BuildTablesParallel(eval.Config{Noise: lvl}, *workers)
+	t, err := eval.BuildTablesParallel(eval.Config{Noise: lvl, Metrics: mc}, *workers)
 	if err != nil {
+		return err
+	}
+	if err := emitMetrics(mc, *metricsOut); err != nil {
 		return err
 	}
 
@@ -72,4 +81,21 @@ func run(args []string) error {
 	}
 	fmt.Printf("total evaluation time: %s\n", t.Elapsed.Round(1e8))
 	return nil
+}
+
+// emitMetrics writes the collector snapshot to path ("-" = stdout); a nil
+// collector (no -metrics flag) is a no-op.
+func emitMetrics(mc *metrics.Collector, path string) error {
+	if mc == nil {
+		return nil
+	}
+	if path == "-" {
+		return mc.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	defer f.Close()
+	return mc.WriteJSON(f)
 }

@@ -6,8 +6,9 @@
 //
 // Usage:
 //
-//	owl -workload libsafe [-recipe attack] [-noise light|full] [-v]
+//	owl -workload libsafe [-recipe attack] [-noise light|full] [-workers 4] [-v]
 //	owl -file prog.oir [-inputs 1,2,3] [-v]
+//	owl -workload ssdb -metrics - [-workers 0]
 //	owl -list
 package main
 
@@ -15,10 +16,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"github.com/conanalysis/owl/internal/ir"
+	"github.com/conanalysis/owl/internal/metrics"
 	"github.com/conanalysis/owl/internal/owl"
 	"github.com/conanalysis/owl/internal/report"
 	"github.com/conanalysis/owl/internal/workloads"
@@ -40,6 +43,8 @@ func run(args []string) error {
 		inputsFlag = fs.String("inputs", "", "comma-separated input words for -file")
 		noise      = fs.String("noise", "light", "workload noise level: light or full")
 		detectRuns = fs.Int("runs", 8, "seeded detection executions")
+		workers    = fs.Int("workers", 1, "pipeline worker pool size (0 = NumCPU, 1 = sequential)")
+		metricsOut = fs.String("metrics", "", `write per-stage metrics JSON to this file ("-" = stdout)`)
 		list       = fs.Bool("list", false, "list built-in workloads and exit")
 		verbose    = fs.Bool("v", false, "print per-report details")
 	)
@@ -61,8 +66,21 @@ func run(args []string) error {
 		return err
 	}
 
-	res, err := owl.Run(prog, owl.Options{DetectRuns: *detectRuns})
+	nWorkers := *workers
+	if nWorkers <= 0 {
+		nWorkers = runtime.NumCPU()
+	}
+	var mc *metrics.Collector
+	if *metricsOut != "" {
+		mc = metrics.New()
+	}
+	res, err := owl.Run(prog, owl.Options{
+		DetectRuns: *detectRuns, Workers: nWorkers, Metrics: mc,
+	})
 	if err != nil {
+		return err
+	}
+	if err := emitMetrics(mc, *metricsOut); err != nil {
 		return err
 	}
 
@@ -94,6 +112,23 @@ func run(args []string) error {
 		fmt.Println(report.Outcome(o))
 	}
 	return nil
+}
+
+// emitMetrics writes the collector snapshot to path ("-" = stdout); a nil
+// collector (no -metrics flag) is a no-op.
+func emitMetrics(mc *metrics.Collector, path string) error {
+	if mc == nil {
+		return nil
+	}
+	if path == "-" {
+		return mc.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	defer f.Close()
+	return mc.WriteJSON(f)
 }
 
 func recipeNames(w *workloads.Workload) string {

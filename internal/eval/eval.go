@@ -13,6 +13,7 @@ import (
 	"github.com/conanalysis/owl/internal/attack"
 	"github.com/conanalysis/owl/internal/interp"
 	"github.com/conanalysis/owl/internal/ir"
+	"github.com/conanalysis/owl/internal/metrics"
 	"github.com/conanalysis/owl/internal/owl"
 	"github.com/conanalysis/owl/internal/race"
 	"github.com/conanalysis/owl/internal/ski"
@@ -33,6 +34,14 @@ type Config struct {
 	KernelDecisions int
 	// DisableVulnVerify skips the slowest stage (useful in quick tests).
 	DisableVulnVerify bool
+	// PipelineWorkers bounds the owl pipeline's inner worker pool per
+	// workload (seeded detections and the verification loops). Default 1:
+	// BuildTablesParallel already fans out across workloads, so nesting
+	// pools is opt-in.
+	PipelineWorkers int
+	// Metrics, when non-nil, receives per-stage instrumentation from the
+	// evaluation, the pipelines it runs, and the study.
+	Metrics *metrics.Collector
 }
 
 func (c Config) withDefaults() Config {
@@ -132,6 +141,8 @@ func evalApplication(w *workloads.Workload, cfg Config) (*ProgramEval, error) {
 		}, owl.Options{
 			DetectRuns:        cfg.DetectRuns,
 			DisableVulnVerify: cfg.DisableVulnVerify,
+			Workers:           cfg.PipelineWorkers,
+			Metrics:           cfg.Metrics,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("eval %s/%s: %w", w.Name, rec.Name, err)

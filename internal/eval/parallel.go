@@ -11,13 +11,26 @@ import (
 	"github.com/conanalysis/owl/internal/workloads"
 )
 
+// evalWorkloadFn is the per-workload evaluation BuildTablesParallel's
+// workers run; tests swap it to inject failures into the pool.
+var evalWorkloadFn = EvalWorkload
+
 // BuildTablesParallel is BuildTables with the per-workload evaluations and
-// exploit campaigns fanned out over a bounded worker pool. Everything a
-// worker touches is freshly constructed (each workload gets its own module
-// and machines), so the workers share nothing; results are collected in
-// registry order to keep output deterministic.
+// exploit campaigns fanned out over a bounded worker pool, and the §3
+// study (which is independent of the table evaluations) overlapped with
+// the pool instead of serialized after it. Everything a worker touches is
+// freshly constructed (each workload gets its own module and machines), so
+// the workers share nothing; results are collected in registry order to
+// keep output deterministic. On failure the pool drains — workers skip
+// jobs that have not started yet — and the error returned is the failed
+// workload earliest in registry order, so multi-failure runs report
+// deterministically regardless of worker scheduling.
 func BuildTablesParallel(cfg Config, workers int) (*Tables, error) {
 	cfg = cfg.withDefaults()
+	// Clock the whole build (workload construction included) so Elapsed is
+	// comparable with BuildTables' Table-3 analysis-cost accounting.
+	start := time.Now()
+	defer cfg.Metrics.Stage("eval.total")()
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
@@ -25,6 +38,7 @@ func BuildTablesParallel(cfg Config, workers int) (*Tables, error) {
 	if workers > len(names) {
 		workers = len(names)
 	}
+	cfg.Metrics.Gauge("eval.workers", float64(workers))
 
 	type slot struct {
 		pe  *ProgramEval
@@ -32,51 +46,90 @@ func BuildTablesParallel(cfg Config, workers int) (*Tables, error) {
 		err error
 	}
 	slots := make([]slot, len(names))
+	evalOne := evalWorkloadFn
+	if evalOne == nil {
+		evalOne = EvalWorkload
+	}
 	jobs := make(chan int)
+	done := make(chan struct{})
+	var failOnce sync.Once
+	fail := func() { failOnce.Do(func() { close(done) }) }
+
+	stopPool := cfg.Metrics.Stage("eval.workloads")
+	cfg.Metrics.SetWorkers("eval.workloads", workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				select {
+				case <-done:
+					// A sibling failed: drain the queue without starting
+					// more work.
+					continue
+				default:
+				}
+				busy := time.Now()
 				// Each worker builds its own workload instance: modules
 				// and machines are not safe for concurrent use, and this
 				// way they never need to be.
 				wl := workloads.Get(names[i], cfg.Noise)
-				pe, err := EvalWorkload(wl, cfg)
+				pe, err := evalOne(wl, cfg)
 				if err != nil {
 					slots[i] = slot{err: fmt.Errorf("eval %s: %w", names[i], err)}
+					fail()
 					continue
 				}
 				ex, err := ExploitCampaign(wl, 100)
 				if err != nil {
 					slots[i] = slot{err: fmt.Errorf("exploit %s: %w", names[i], err)}
+					fail()
 					continue
 				}
 				slots[i] = slot{pe: pe, ex: ex}
+				cfg.Metrics.AddBusy("eval.workloads", time.Since(busy))
 			}
 		}()
 	}
-	t := &Tables{Cfg: cfg, Exploits: make(map[string][]*attack.Result)}
-	start := time.Now()
+
+	// The study reads nothing the workload evaluations produce, so it runs
+	// concurrently with the pool rather than after it.
+	type studyOut struct {
+		st  *study.Result
+		err error
+	}
+	studyCh := make(chan studyOut, 1)
+	go func() {
+		st, err := study.Run(study.Config{
+			Noise: cfg.Noise, DetectRuns: cfg.DetectRuns, Metrics: cfg.Metrics,
+		})
+		studyCh <- studyOut{st: st, err: err}
+	}()
+
 	for i := range names {
 		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()
+	stopPool()
+	sr := <-studyCh
 
-	for i, s := range slots {
+	// Report the earliest failed workload in registry order.
+	for _, s := range slots {
 		if s.err != nil {
 			return nil, s.err
 		}
+	}
+	t := &Tables{Cfg: cfg, Exploits: make(map[string][]*attack.Result)}
+	for i, s := range slots {
 		t.Programs = append(t.Programs, s.pe)
 		t.Exploits[names[i]] = s.ex
 	}
-	st, err := study.Run(study.Config{Noise: cfg.Noise, DetectRuns: cfg.DetectRuns})
-	if err != nil {
-		return nil, err
+	if sr.err != nil {
+		return nil, sr.err
 	}
-	t.Study = st
+	t.Study = sr.st
 	t.Elapsed = time.Since(start)
 	return t, nil
 }

@@ -24,7 +24,9 @@ type Tables struct {
 func BuildTables(cfg Config) (*Tables, error) {
 	cfg = cfg.withDefaults()
 	start := time.Now()
+	defer cfg.Metrics.Stage("eval.total")()
 	t := &Tables{Cfg: cfg, Exploits: make(map[string][]*attack.Result)}
+	stop := cfg.Metrics.Stage("eval.workloads")
 	for _, w := range workloads.All(cfg.Noise) {
 		pe, err := EvalWorkload(w, cfg)
 		if err != nil {
@@ -37,7 +39,10 @@ func BuildTables(cfg Config) (*Tables, error) {
 		}
 		t.Exploits[w.Name] = ex
 	}
-	st, err := study.Run(study.Config{Noise: cfg.Noise, DetectRuns: cfg.DetectRuns})
+	stop()
+	st, err := study.Run(study.Config{
+		Noise: cfg.Noise, DetectRuns: cfg.DetectRuns, Metrics: cfg.Metrics,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,199 @@
+// Package metrics provides lightweight per-stage instrumentation for the
+// OWL pipeline: wall-clock timers, busy-time (CPU) accumulators for worker
+// pools, monotonic counters, and gauges, plus a deterministic JSON
+// emitter. The paper's Table 3 reports analysis cost per program; this
+// package generalizes that accounting to every stage of the pipeline so
+// `-metrics` on the command line (or a Collector threaded through
+// owl.Run / eval.BuildTables / study.Run) shows exactly where the time
+// goes and how well a worker pool is utilized.
+//
+// All methods are safe for concurrent use and are no-ops on a nil
+// *Collector, so call sites thread an optional collector without guards.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// stage accumulates the timing of one named pipeline stage.
+type stage struct {
+	wall    time.Duration // accumulated wall-clock time across invocations
+	busy    time.Duration // accumulated per-worker busy time (>= wall when parallel)
+	count   int64         // invocations of the stage timer
+	workers int           // largest worker-pool width observed
+}
+
+// Collector accumulates stage timings, counters, and gauges.
+type Collector struct {
+	mu       sync.Mutex
+	stages   map[string]*stage
+	counters map[string]int64
+	gauges   map[string]float64
+}
+
+// New returns an empty collector.
+func New() *Collector {
+	return &Collector{
+		stages:   make(map[string]*stage),
+		counters: make(map[string]int64),
+		gauges:   make(map[string]float64),
+	}
+}
+
+func (c *Collector) stageFor(name string) *stage {
+	s := c.stages[name]
+	if s == nil {
+		s = &stage{}
+		c.stages[name] = s
+	}
+	return s
+}
+
+// Stage starts a wall-clock timer for the named stage and returns the
+// function that stops it. Usage: defer c.Stage("detect")().
+func (c *Collector) Stage(name string) func() {
+	if c == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() {
+		d := time.Since(start)
+		c.mu.Lock()
+		s := c.stageFor(name)
+		s.wall += d
+		s.count++
+		c.mu.Unlock()
+	}
+}
+
+// AddBusy records per-worker busy time for the named stage. Worker pools
+// call it once per completed job; the ratio busy/(wall*workers) is the
+// pool's utilization.
+func (c *Collector) AddBusy(name string, d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.stageFor(name).busy += d
+	c.mu.Unlock()
+}
+
+// SetWorkers records the worker-pool width used for the named stage (the
+// maximum observed width is kept).
+func (c *Collector) SetWorkers(name string, n int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	s := c.stageFor(name)
+	if n > s.workers {
+		s.workers = n
+	}
+	c.mu.Unlock()
+}
+
+// Count adds n to the named counter.
+func (c *Collector) Count(name string, n int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.counters[name] += n
+	c.mu.Unlock()
+}
+
+// Gauge sets the named gauge to v (last write wins).
+func (c *Collector) Gauge(name string, v float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.gauges[name] = v
+	c.mu.Unlock()
+}
+
+// StageReport is one stage's snapshot in a Report.
+type StageReport struct {
+	Name  string        `json:"name"`
+	Wall  time.Duration `json:"wall_ns"`
+	Busy  time.Duration `json:"busy_ns,omitempty"`
+	Count int64         `json:"count"`
+	// Workers is the pool width; 0 for sequential stages.
+	Workers int `json:"workers,omitempty"`
+	// Utilization is busy/(wall*workers), in [0,1]; 0 when not pooled.
+	Utilization float64 `json:"utilization,omitempty"`
+}
+
+// CounterReport is one counter's snapshot.
+type CounterReport struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeReport is one gauge's snapshot.
+type GaugeReport struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// Report is a point-in-time snapshot of a Collector, ordered by name so
+// the JSON output is deterministic.
+type Report struct {
+	Stages   []StageReport   `json:"stages"`
+	Counters []CounterReport `json:"counters"`
+	Gauges   []GaugeReport   `json:"gauges"`
+}
+
+// Snapshot captures the collector's current state. Snapshot on a nil
+// collector returns an empty report.
+func (c *Collector) Snapshot() *Report {
+	r := &Report{}
+	if c == nil {
+		return r
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for name, s := range c.stages {
+		sr := StageReport{
+			Name: name, Wall: s.wall, Busy: s.busy,
+			Count: s.count, Workers: s.workers,
+		}
+		if s.workers > 0 && s.wall > 0 {
+			sr.Utilization = float64(s.busy) / (float64(s.wall) * float64(s.workers))
+			if sr.Utilization > 1 {
+				sr.Utilization = 1
+			}
+		}
+		r.Stages = append(r.Stages, sr)
+	}
+	for name, v := range c.counters {
+		r.Counters = append(r.Counters, CounterReport{Name: name, Value: v})
+	}
+	for name, v := range c.gauges {
+		r.Gauges = append(r.Gauges, GaugeReport{Name: name, Value: v})
+	}
+	sort.Slice(r.Stages, func(i, j int) bool { return r.Stages[i].Name < r.Stages[j].Name })
+	sort.Slice(r.Counters, func(i, j int) bool { return r.Counters[i].Name < r.Counters[j].Name })
+	sort.Slice(r.Gauges, func(i, j int) bool { return r.Gauges[i].Name < r.Gauges[j].Name })
+	return r
+}
+
+// WriteJSON writes the indented JSON snapshot of the collector to w.
+func (c *Collector) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(c.Snapshot(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("metrics: encode: %w", err)
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+func (r *Report) String() string {
+	data, _ := json.MarshalIndent(r, "", "  ")
+	return string(data)
+}

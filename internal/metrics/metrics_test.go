@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStageTimerAccumulates(t *testing.T) {
+	c := New()
+	for i := 0; i < 3; i++ {
+		stop := c.Stage("detect")
+		time.Sleep(time.Millisecond)
+		stop()
+	}
+	rep := c.Snapshot()
+	if len(rep.Stages) != 1 {
+		t.Fatalf("stages = %d, want 1", len(rep.Stages))
+	}
+	s := rep.Stages[0]
+	if s.Name != "detect" || s.Count != 3 {
+		t.Errorf("stage = %+v, want name=detect count=3", s)
+	}
+	if s.Wall < 3*time.Millisecond {
+		t.Errorf("wall = %v, want >= 3ms", s.Wall)
+	}
+}
+
+func TestCountersAndGauges(t *testing.T) {
+	c := New()
+	c.Count("reports", 5)
+	c.Count("reports", 2)
+	c.Gauge("workers", 4)
+	c.Gauge("workers", 8) // last write wins
+	rep := c.Snapshot()
+	if len(rep.Counters) != 1 || rep.Counters[0].Value != 7 {
+		t.Errorf("counters = %+v, want reports=7", rep.Counters)
+	}
+	if len(rep.Gauges) != 1 || rep.Gauges[0].Value != 8 {
+		t.Errorf("gauges = %+v, want workers=8", rep.Gauges)
+	}
+}
+
+func TestUtilizationFromBusyTime(t *testing.T) {
+	c := New()
+	stop := c.Stage("pool")
+	time.Sleep(2 * time.Millisecond)
+	stop()
+	c.SetWorkers("pool", 2)
+	rep := c.Snapshot()
+	wall := rep.Stages[0].Wall
+	c.AddBusy("pool", wall) // one of two workers fully busy
+	rep = c.Snapshot()
+	u := rep.Stages[0].Utilization
+	if u < 0.4 || u > 0.6 {
+		t.Errorf("utilization = %v, want ~0.5", u)
+	}
+}
+
+func TestNilCollectorIsSafe(t *testing.T) {
+	var c *Collector
+	c.Stage("x")()
+	c.AddBusy("x", time.Second)
+	c.SetWorkers("x", 4)
+	c.Count("x", 1)
+	c.Gauge("x", 1)
+	if rep := c.Snapshot(); len(rep.Stages) != 0 {
+		t.Errorf("nil snapshot not empty: %+v", rep)
+	}
+	ForEach(c, "x", 4, 2, func(int) {})
+}
+
+func TestConcurrentUse(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Stage("s")()
+				c.Count("n", 1)
+				c.AddBusy("s", time.Microsecond)
+				c.Gauge("g", float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	rep := c.Snapshot()
+	if rep.Stages[0].Count != 800 {
+		t.Errorf("count = %d, want 800", rep.Stages[0].Count)
+	}
+	if rep.Counters[0].Value != 800 {
+		t.Errorf("counter = %d, want 800", rep.Counters[0].Value)
+	}
+}
+
+func TestJSONEmitterDeterministicOrder(t *testing.T) {
+	c := New()
+	c.Count("zeta", 1)
+	c.Count("alpha", 2)
+	c.Stage("b")()
+	c.Stage("a")()
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if rep.Counters[0].Name != "alpha" || rep.Counters[1].Name != "zeta" {
+		t.Errorf("counters not sorted: %+v", rep.Counters)
+	}
+	if rep.Stages[0].Name != "a" || rep.Stages[1].Name != "b" {
+		t.Errorf("stages not sorted: %+v", rep.Stages)
+	}
+	if !strings.HasSuffix(buf.String(), "\n") {
+		t.Error("emitter should end with a newline")
+	}
+}
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		c := New()
+		hits := make([]int, 50)
+		ForEach(c, "pool", len(hits), workers, func(i int) { hits[i]++ })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+		rep := c.Snapshot()
+		if len(rep.Stages) != 1 || rep.Stages[0].Busy <= 0 {
+			t.Errorf("workers=%d: busy time not recorded: %+v", workers, rep.Stages)
+		}
+	}
+	// n = 0 must be a no-op.
+	ForEach(New(), "empty", 0, 4, func(int) { t.Fatal("fn called for n=0") })
+}

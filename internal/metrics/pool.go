@@ -1,0 +1,49 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// ForEach runs fn(i) for every i in [0,n) over a bounded pool of workers,
+// recording per-job busy time and the pool width for the named stage in c
+// (which may be nil). With workers <= 1 (or n <= 1) the jobs run inline on
+// the calling goroutine, so a sequential pipeline stays goroutine-free.
+// ForEach blocks until every job has finished; job order across workers is
+// unspecified, so fn must write only to per-index state.
+func ForEach(c *Collector, name string, n, workers int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		c.SetWorkers(name, 1)
+		for i := 0; i < n; i++ {
+			start := time.Now()
+			fn(i)
+			c.AddBusy(name, time.Since(start))
+		}
+		return
+	}
+	c.SetWorkers(name, workers)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				start := time.Now()
+				fn(i)
+				c.AddBusy(name, time.Since(start))
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}

@@ -23,6 +23,7 @@ import (
 	"github.com/conanalysis/owl/internal/atomicity"
 	"github.com/conanalysis/owl/internal/interp"
 	"github.com/conanalysis/owl/internal/ir"
+	"github.com/conanalysis/owl/internal/metrics"
 	"github.com/conanalysis/owl/internal/race"
 	"github.com/conanalysis/owl/internal/raceverify"
 	"github.com/conanalysis/owl/internal/sched"
@@ -71,6 +72,19 @@ type Options struct {
 	// (§8.3). Results land in Result.AtomicityReports /
 	// Result.AtomicityFindings.
 	EnableAtomicity bool
+
+	// Workers bounds the worker pool the pipeline fans its inner loops
+	// over: the seeded detection runs, the per-report race verifications,
+	// and the per-finding vulnerability verifications. Every run builds
+	// its own machine against the frozen (read-only) module, so workers
+	// share nothing and results merge deterministically in seed/report
+	// order — Result is byte-identical for any worker count. Values <= 1
+	// keep the pipeline fully sequential.
+	Workers int
+
+	// Metrics, when non-nil, receives per-stage wall/busy timings,
+	// report/finding counters, and worker-utilization gauges for the run.
+	Metrics *metrics.Collector
 }
 
 // Stats is the Table-3 accounting for one program.
@@ -138,38 +152,64 @@ func Run(p Program, opts Options) (*Result, error) {
 	if detectRuns <= 0 {
 		detectRuns = 8
 	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	mc := opts.Metrics
+	mc.Gauge("owl.workers", float64(workers))
+	defer mc.Stage("owl.total")()
 
 	res := &Result{FindingsByReport: make(map[string][]*vuln.Finding)}
 
 	// Step 1: detection runs over seeded schedules; dedupe across runs.
-	res.Raw = detect(p, detectRuns, nil)
+	stop := mc.Stage("owl.detect")
+	res.Raw = detect(p, detectRuns, workers, nil, mc)
+	stop()
 	res.Stats.RawReports = len(res.Raw)
+	mc.Count("owl.detect_runs", int64(detectRuns))
+	mc.Count("owl.raw_reports", int64(res.Stats.RawReports))
 
 	// Step 2: mine ad-hoc synchronizations, annotate, re-run.
 	working := res.Raw
 	if !opts.DisableAdhoc {
+		stop = mc.Stage("owl.adhoc")
 		res.Syncs = adhoc.NewDetector().Analyze(res.Raw)
 		res.Stats.AdhocSyncs = adhoc.UniqueVars(res.Syncs)
 		if len(res.Syncs) > 0 {
 			ann := adhoc.Annotate(res.Syncs, nil)
-			working = detect(p, detectRuns, ann)
+			working = detect(p, detectRuns, workers, ann, mc)
+			mc.Count("owl.detect_runs", int64(detectRuns))
 		}
+		stop()
 	}
 	res.Annotated = working
 	res.Stats.AfterAnnotation = len(working)
+	mc.Count("owl.adhoc_syncs", int64(res.Stats.AdhocSyncs))
+	mc.Count("owl.after_annotation", int64(res.Stats.AfterAnnotation))
 
-	// Step 3: dynamic race verification with security hints.
+	// Step 3: dynamic race verification with security hints. Each report
+	// is verified on its own freshly built machines, so the per-report
+	// loop fans out; hints are collected in report order.
 	mk := factory(p)
 	if !opts.DisableRaceVerify {
 		rv := opts.RaceVerifier
 		if rv == nil {
 			rv = raceverify.New()
 		}
-		for _, rep := range working {
-			h, err := rv.Verify(mk, rep)
+		stop = mc.Stage("owl.raceverify")
+		hints := make([]*raceverify.Hint, len(working))
+		errs := make([]error, len(working))
+		metrics.ForEach(mc, "owl.raceverify", len(working), workers, func(i int) {
+			hints[i], errs[i] = rv.Verify(mk, working[i])
+		})
+		stop()
+		for _, err := range errs {
 			if err != nil {
 				return nil, fmt.Errorf("owl: race verification: %w", err)
 			}
+		}
+		for _, h := range hints {
 			res.Hints = append(res.Hints, h)
 			if !h.Verified {
 				res.Stats.VerifierEliminated++
@@ -181,9 +221,11 @@ func Run(p Program, opts Options) (*Result, error) {
 		}
 	}
 	res.Stats.Remaining = res.Stats.AfterAnnotation - res.Stats.VerifierEliminated
+	mc.Count("owl.verifier_eliminated", int64(res.Stats.VerifierEliminated))
 
 	// Step 4: Algorithm 1 on each verified report's read side.
 	analysisStart := time.Now()
+	stop = mc.Stage("owl.analyze")
 	analyzer := vuln.NewAnalyzer(p.Module)
 	analyzer.TrackCtrl = !opts.DisableCtrlFlow
 	analyzer.InterProcedural = !opts.DisableInterProc
@@ -204,10 +246,13 @@ func Run(p Program, opts Options) (*Result, error) {
 			res.Stats.Findings += len(findings)
 		}
 	}
+	stop()
+	mc.Count("owl.findings", int64(res.Stats.Findings))
 	// Optional CTrigger-style stage: atomicity violations also feed
 	// Algorithm 1 (paper §8.3 integration).
 	if opts.EnableAtomicity {
-		res.AtomicityReports = detectAtomicity(p, detectRuns)
+		stop = mc.Stage("owl.atomicity")
+		res.AtomicityReports = detectAtomicity(p, detectRuns, workers, mc)
 		for _, ar := range res.AtomicityReports {
 			in, stack, ok := atomicity.ReadSideOf(ar)
 			if !ok {
@@ -215,58 +260,84 @@ func Run(p Program, opts Options) (*Result, error) {
 			}
 			res.AtomicityFindings = append(res.AtomicityFindings, analyzer.Analyze(in, stack)...)
 		}
+		stop()
 	}
 	res.Stats.AnalysisTime = time.Since(analysisStart)
 
-	// Step 5: dynamic vulnerability verification.
+	// Step 5: dynamic vulnerability verification. The (hint, finding)
+	// pairs form an order-stable job list; outcomes land back in job order
+	// so the output is independent of worker count.
 	if !opts.DisableVulnVerify {
 		vv := opts.VulnVerifier
 		if vv == nil {
 			vv = vulnverify.New()
 		}
+		type vvJob struct {
+			h *raceverify.Hint
+			f *vuln.Finding
+		}
+		var vvJobs []vvJob
 		for _, h := range res.Hints {
 			if !h.Verified {
 				continue
 			}
 			for _, f := range res.FindingsByReport[h.Report.ID()] {
-				out, err := vv.Verify(mk, f)
-				if err != nil {
-					return nil, fmt.Errorf("owl: vulnerability verification: %w", err)
-				}
-				res.Outcomes = append(res.Outcomes, out)
-				if out.Reached {
-					res.Stats.VerifiedAttacks++
-					res.Attacks = append(res.Attacks, &Attack{
-						Report:  h.Report,
-						Hint:    h,
-						Finding: f,
-						Outcome: out,
-					})
-				}
+				vvJobs = append(vvJobs, vvJob{h: h, f: f})
+			}
+		}
+		stop = mc.Stage("owl.vulnverify")
+		outs := make([]*vulnverify.Outcome, len(vvJobs))
+		errs := make([]error, len(vvJobs))
+		metrics.ForEach(mc, "owl.vulnverify", len(vvJobs), workers, func(i int) {
+			outs[i], errs[i] = vv.Verify(mk, vvJobs[i].f)
+		})
+		stop()
+		for _, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("owl: vulnerability verification: %w", err)
+			}
+		}
+		for i, out := range outs {
+			res.Outcomes = append(res.Outcomes, out)
+			if out.Reached {
+				res.Stats.VerifiedAttacks++
+				res.Attacks = append(res.Attacks, &Attack{
+					Report:  vvJobs[i].h.Report,
+					Hint:    vvJobs[i].h,
+					Finding: vvJobs[i].f,
+					Outcome: out,
+				})
 			}
 		}
 	}
+	mc.Count("owl.outcomes", int64(len(res.Outcomes)))
+	mc.Count("owl.attacks", int64(len(res.Attacks)))
 	res.Stats.TotalTime = time.Since(start)
 	return res, nil
 }
 
 // detectAtomicity runs the atomicity detector across seeded schedules,
-// merging violations by ID.
-func detectAtomicity(p Program, runs int) []*atomicity.Report {
-	merged := map[string]*atomicity.Report{}
-	var order []*atomicity.Report
-	for seed := uint64(1); seed <= uint64(runs); seed++ {
+// fanning the runs over the worker pool and merging violations by ID in
+// seed order (so the output is independent of worker count).
+func detectAtomicity(p Program, runs, workers int, mc *metrics.Collector) []*atomicity.Report {
+	perSeed := make([][]*atomicity.Report, runs)
+	metrics.ForEach(mc, "owl.atomicity", runs, workers, func(i int) {
 		d := atomicity.NewDetector()
 		m, err := interp.New(interp.Config{
 			Module: p.Module, Entry: p.Entry, Args: p.Args, Inputs: p.Inputs,
-			MaxSteps: p.MaxSteps, Sched: sched.NewRandom(seed),
+			MaxSteps: p.MaxSteps, Sched: sched.NewRandom(uint64(i + 1)),
 			Observers: []interp.Observer{d},
 		})
 		if err != nil {
-			continue
+			return
 		}
 		m.Run()
-		for _, r := range d.Reports() {
+		perSeed[i] = d.Reports()
+	})
+	merged := map[string]*atomicity.Report{}
+	var order []*atomicity.Report
+	for _, reports := range perSeed {
+		for _, r := range reports {
 			if existing, ok := merged[r.ID()]; ok {
 				existing.Count += r.Count
 				continue
@@ -278,23 +349,31 @@ func detectAtomicity(p Program, runs int) []*atomicity.Report {
 	return order
 }
 
-// detect runs the race detector across seeded schedules, merging reports.
-func detect(p Program, runs int, benign *race.Annotations) []*race.Report {
-	merged := map[string]*race.Report{}
-	var order []*race.Report
-	for seed := uint64(1); seed <= uint64(runs); seed++ {
+// detect runs the race detector across seeded schedules, fanning the runs
+// over the worker pool. Every run builds a private machine and detector
+// against the frozen module; only the per-seed report slices are shared,
+// each written by exactly one worker. Reports merge by ID in seed order,
+// so the result is identical for any worker count.
+func detect(p Program, runs, workers int, benign *race.Annotations, mc *metrics.Collector) []*race.Report {
+	perSeed := make([][]*race.Report, runs)
+	metrics.ForEach(mc, "owl.detect", runs, workers, func(i int) {
 		d := race.NewDetector()
 		d.Benign = benign
 		m, err := interp.New(interp.Config{
 			Module: p.Module, Entry: p.Entry, Args: p.Args, Inputs: p.Inputs,
-			MaxSteps: p.MaxSteps, Sched: sched.NewRandom(seed),
+			MaxSteps: p.MaxSteps, Sched: sched.NewRandom(uint64(i + 1)),
 			Observers: []interp.Observer{d},
 		})
 		if err != nil {
-			continue
+			return
 		}
 		m.Run()
-		for _, r := range d.Reports() {
+		perSeed[i] = d.Reports()
+	})
+	merged := map[string]*race.Report{}
+	var order []*race.Report
+	for _, reports := range perSeed {
+		for _, r := range reports {
 			if existing, ok := merged[r.ID()]; ok {
 				existing.Count += r.Count
 				continue

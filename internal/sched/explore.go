@@ -36,6 +36,12 @@ func (s *DecisionSched) Next(runnable []interp.ThreadID, step int) interp.Thread
 	if choice >= len(runnable) {
 		choice = len(runnable) - 1
 	}
+	if choice < 0 {
+		// Hand-edited or corrupted decision vectors (e.g. a replayed JSON
+		// trace) may carry negative entries; without this clamp the
+		// runnable[choice] below panics with index-out-of-range.
+		choice = 0
+	}
 	s.Trace = append(s.Trace, Decision{Choices: len(runnable), Chosen: choice})
 	return runnable[choice]
 }

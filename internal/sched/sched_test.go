@@ -170,6 +170,26 @@ func TestDecisionSchedClampsOutOfRange(t *testing.T) {
 	}
 }
 
+// Regression: negative decisions (a hand-edited or corrupted replay
+// vector) used to panic with index-out-of-range; they must clamp to 0.
+func TestDecisionSchedClampsNegative(t *testing.T) {
+	s := &DecisionSched{Decisions: []int{-1, -99, 1}}
+	if got := s.Next(ids(4, 7), 0); got != 4 {
+		t.Errorf("negative decision should clamp to first runnable, got %d", got)
+	}
+	if got := s.Next(ids(2, 3, 5), 1); got != 2 {
+		t.Errorf("large negative decision should clamp to first runnable, got %d", got)
+	}
+	if got := s.Next(ids(0, 1), 2); got != 1 {
+		t.Errorf("valid decision after negatives must still apply, got %d", got)
+	}
+	for i, d := range s.Trace {
+		if d.Chosen < 0 || d.Chosen >= d.Choices {
+			t.Errorf("trace[%d] records out-of-range choice %+v", i, d)
+		}
+	}
+}
+
 func TestExplorerCoversSmallTree(t *testing.T) {
 	// A synthetic 2-level binary decision tree: 2 choices then 2 choices
 	// = 4 leaves. The explorer must run each exactly once.

@@ -22,6 +22,7 @@ import (
 	"github.com/conanalysis/owl/internal/callstack"
 	"github.com/conanalysis/owl/internal/interp"
 	"github.com/conanalysis/owl/internal/ir"
+	"github.com/conanalysis/owl/internal/metrics"
 	"github.com/conanalysis/owl/internal/race"
 	"github.com/conanalysis/owl/internal/sched"
 	"github.com/conanalysis/owl/internal/workloads"
@@ -134,6 +135,13 @@ type Config struct {
 	Noise      workloads.NoiseLevel
 	MaxRuns    int // exploit campaign budget per attack (default 100)
 	DetectRuns int // detection seeds for findings IV/V (default 8)
+	// Workers bounds the pool the per-workload studies fan out over
+	// (default 1 = sequential). Each workload is studied entirely by one
+	// worker against its own freshly built modules and machines; rows
+	// merge in registry order, so the Result is identical for any width.
+	Workers int
+	// Metrics, when non-nil, receives study-stage instrumentation.
+	Metrics *metrics.Collector
 }
 
 // Run executes the study over all workloads.
@@ -147,35 +155,68 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.DetectRuns <= 0 {
 		cfg.DetectRuns = 8
 	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	defer cfg.Metrics.Stage("study.total")()
+
+	all := workloads.All(cfg.Noise)
+	outs := make([]workloadStudy, len(all))
+	metrics.ForEach(cfg.Metrics, "study.workloads", len(all), workers, func(i int) {
+		outs[i] = studyWorkload(all[i], cfg)
+	})
+
 	res := &Result{}
-	for _, w := range workloads.All(cfg.Noise) {
+	for i, out := range outs {
+		if out.err != nil {
+			return nil, out.err
+		}
 		res.TotalPrograms++
-		if len(w.Attacks) > 0 {
+		if out.hasAttacks {
 			res.ProgramsWithAttacks++
 		}
-		reports := detectRaw(w, cfg.DetectRuns)
-		for _, spec := range w.Attacks {
-			row := AttackRow{
-				Workload:      w.Name,
-				Spec:          spec,
-				CrossFunction: spec.CrossFunction,
-				BuriedAmong:   len(reports),
-			}
-			d := attack.NewDriver(w)
-			d.MaxRuns = cfg.MaxRuns
-			ex, err := d.Exploit(spec)
-			if err != nil {
-				return nil, fmt.Errorf("study %s/%s: %w", w.Name, spec.ID, err)
-			}
-			row.Exploited = ex.Succeeded
-			row.Repetitions = ex.Runs
-
-			row.RaceDetected = raceForAttack(w, spec, reports)
-			row.PrefixStacks, row.PrefixChecked = prefixProperty(w, spec)
-			res.Rows = append(res.Rows, row)
-		}
+		res.Rows = append(res.Rows, outs[i].rows...)
 	}
+	cfg.Metrics.Count("study.rows", int64(len(res.Rows)))
 	return res, nil
+}
+
+// workloadStudy is one workload's share of the study.
+type workloadStudy struct {
+	hasAttacks bool
+	rows       []AttackRow
+	err        error
+}
+
+// studyWorkload runs the §3 measurements for one workload. It touches only
+// the workload instance it is handed, so distinct workloads study safely
+// in parallel.
+func studyWorkload(w *workloads.Workload, cfg Config) (out workloadStudy) {
+	out.hasAttacks = len(w.Attacks) > 0
+	reports := detectRaw(w, cfg.DetectRuns)
+	for _, spec := range w.Attacks {
+		row := AttackRow{
+			Workload:      w.Name,
+			Spec:          spec,
+			CrossFunction: spec.CrossFunction,
+			BuriedAmong:   len(reports),
+		}
+		d := attack.NewDriver(w)
+		d.MaxRuns = cfg.MaxRuns
+		ex, err := d.Exploit(spec)
+		if err != nil {
+			out.err = fmt.Errorf("study %s/%s: %w", w.Name, spec.ID, err)
+			return out
+		}
+		row.Exploited = ex.Succeeded
+		row.Repetitions = ex.Runs
+
+		row.RaceDetected = raceForAttack(w, spec, reports)
+		row.PrefixStacks, row.PrefixChecked = prefixProperty(w, spec)
+		out.rows = append(out.rows, row)
+	}
+	return out
 }
 
 // detectRaw runs the plain race detector over the workload's attack

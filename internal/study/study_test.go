@@ -16,6 +16,30 @@ func runStudy(t *testing.T) *Result {
 	return res
 }
 
+// TestParallelStudyMatchesSequential: fanning the per-workload studies
+// over a pool must not change the result — rows merge in registry order.
+func TestParallelStudyMatchesSequential(t *testing.T) {
+	seq := runStudy(t)
+	par, err := Run(Config{Noise: workloads.NoiseLight, MaxRuns: 100, DetectRuns: 6, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.TotalPrograms != seq.TotalPrograms ||
+		par.ProgramsWithAttacks != seq.ProgramsWithAttacks {
+		t.Errorf("program counts differ: %d/%d vs %d/%d",
+			par.TotalPrograms, par.ProgramsWithAttacks,
+			seq.TotalPrograms, seq.ProgramsWithAttacks)
+	}
+	if len(par.Rows) != len(seq.Rows) {
+		t.Fatalf("rows = %d, want %d", len(par.Rows), len(seq.Rows))
+	}
+	for i := range seq.Rows {
+		if par.Rows[i] != seq.Rows[i] {
+			t.Errorf("row %d differs:\nseq: %+v\npar: %+v", i, seq.Rows[i], par.Rows[i])
+		}
+	}
+}
+
 func TestFindingIEveryProgramHasAttacks(t *testing.T) {
 	res := runStudy(t)
 	if res.TotalPrograms != 7 {

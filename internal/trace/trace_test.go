@@ -110,6 +110,34 @@ func TestReplayRejectsWrongModule(t *testing.T) {
 	}
 }
 
+// Regression: a hand-edited or corrupted recording (negative or absurd
+// thread IDs in the schedule) must replay without panicking — the replay
+// scheduler falls back and flags the divergence instead.
+func TestCorruptedScheduleReplaysWithoutPanic(t *testing.T) {
+	mod := ir.MustParse("racy.oir", racySrc)
+	rec, err := Unmarshal([]byte(
+		`{"module":"racy","schedule":[-1,-99,0,42,0,-7,1,2,0,0]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, replay, err := rec.Config(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MaxSteps = 10000
+	m, err := interp.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if !replay.Diverged {
+		t.Error("corrupted schedule should be flagged as diverged")
+	}
+	if len(res.Output) != 1 {
+		t.Errorf("program did not complete under corrupted replay: %v", res.Output)
+	}
+}
+
 func TestLoadErrors(t *testing.T) {
 	if _, err := Load("/no/such/file.json"); err == nil {
 		t.Error("want read error")

@@ -38,6 +38,7 @@ import (
 	"github.com/conanalysis/owl/internal/inputsearch"
 	"github.com/conanalysis/owl/internal/interp"
 	"github.com/conanalysis/owl/internal/ir"
+	"github.com/conanalysis/owl/internal/metrics"
 	"github.com/conanalysis/owl/internal/minic"
 	"github.com/conanalysis/owl/internal/owl"
 	"github.com/conanalysis/owl/internal/race"
@@ -243,10 +244,23 @@ func BuildTables(cfg EvalConfig) (*EvalTables, error) { return eval.BuildTables(
 func RunStudy(cfg StudyConfig) (*StudyResult, error) { return study.Run(cfg) }
 
 // BuildTablesParallel is BuildTables with per-workload evaluation fanned
-// out over a bounded worker pool.
+// out over a bounded worker pool and the §3 study overlapped with it.
 func BuildTablesParallel(cfg EvalConfig, workers int) (*EvalTables, error) {
 	return eval.BuildTablesParallel(cfg, workers)
 }
+
+// Pipeline instrumentation (internal/metrics).
+type (
+	// MetricsCollector accumulates per-stage wall/busy timings, counters,
+	// and worker-utilization gauges; thread one through Options.Metrics,
+	// EvalConfig.Metrics, or StudyConfig.Metrics.
+	MetricsCollector = metrics.Collector
+	// MetricsReport is a deterministic point-in-time snapshot.
+	MetricsReport = metrics.Report
+)
+
+// NewMetricsCollector returns an empty metrics collector.
+func NewMetricsCollector() *MetricsCollector { return metrics.New() }
 
 // FormatTable renders rows as a fixed-width text table (first row is the
 // header).
