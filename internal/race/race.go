@@ -280,23 +280,20 @@ func (d *Detector) onWrite(m *interp.Machine, e interp.Event) {
 		!me.HappensBefore(int(s.write.tid), s.write.tick) {
 		d.report(m, s.write.acc, d.access(e, true))
 	}
+	// One pass over the stored reads: a read ordered before this write is
+	// superseded (cleared, to bound state growth); an unordered read from
+	// another thread races and stays stored.
 	for tid, rd := range s.reads {
-		if !rd.valid || tid == e.TID {
+		if me.HappensBefore(int(tid), rd.tick) {
+			delete(s.reads, tid)
 			continue
 		}
-		if !me.HappensBefore(int(tid), rd.tick) {
+		if rd.valid && tid != e.TID {
 			d.report(m, rd.acc, d.access(e, true))
 		}
 	}
 	s.write = lastAccess{
 		tid: e.TID, tick: me.Get(int(e.TID)), acc: d.access(e, true), valid: true,
-	}
-	// A write that is ordered after previous reads supersedes them; clear
-	// reads that happened before this write to bound state growth.
-	for tid, rd := range s.reads {
-		if me.HappensBefore(int(tid), rd.tick) {
-			delete(s.reads, tid)
-		}
 	}
 }
 
