@@ -4,10 +4,11 @@
 #   make test            plain test run
 #   make bench           full benchmark suite (tables, figures, ablations)
 #   make bench-pipeline  parallel-speedup ablation -> BENCH_pipeline.json
+#   make bench-detector  race-detector ablation    -> BENCH_detector.json
 
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-pipeline clean
+.PHONY: ci build vet test race bench bench-pipeline bench-detector clean
 
 ci: build vet race
 
@@ -31,7 +32,17 @@ bench:
 # -json stream (newline-delimited test2json) lands in BENCH_pipeline.json.
 bench-pipeline:
 	$(GO) test -json -run '^$$' -bench 'BenchmarkParallelPipeline' -benchtime 1x . > BENCH_pipeline.json
-	@grep -o '"Output":"Benchmark[^"]*' BENCH_pipeline.json | sed 's/"Output":"//;s/\\n//' || true
+	@sed -n 's/.*"Output":"\(.*\)"}$$/\1/p' BENCH_pipeline.json | tr -d '\n' | xargs -0 printf '%b' | grep -E 'Benchmark.*op' || true
+
+# Detector ablation (DESIGN.md §5 entry 6): epoch shadow words + lazy
+# stack capture (DetectorOverhead) vs full vector clocks + eager stacks
+# (DetectorFullVC) vs epoch words + eager stacks (DetectorEagerStacks),
+# against the no-detector baseline; -benchmem records allocs/op so the
+# zero-allocation hot-path claim is visible in the numbers. The -json
+# stream (newline-delimited test2json) lands in BENCH_detector.json.
+bench-detector:
+	$(GO) test -json -run '^$$' -bench 'BenchmarkDetector|BenchmarkBaselineNoDetector' -benchmem ./internal/race > BENCH_detector.json
+	@sed -n 's/.*"Output":"\(.*\)"}$$/\1/p' BENCH_detector.json | tr -d '\n' | xargs -0 printf '%b' | grep -E 'Benchmark.*op' || true
 
 clean:
-	rm -f BENCH_pipeline.json
+	rm -f BENCH_pipeline.json BENCH_detector.json

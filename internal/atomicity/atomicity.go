@@ -87,13 +87,35 @@ func (r *Report) AsRace() *race.Report {
 	}
 }
 
+// accRec is a stored access: the report-side fields plus a lazily
+// materializable call-stack handle. Stacks are only built for the rare
+// access that ends up in a new report.
+type accRec struct {
+	acc  race.Access // Stack stays nil until materialize
+	sref interp.StackRef
+}
+
+func (a accRec) materialize() race.Access {
+	acc := a.acc
+	acc.Stack = a.sref.Materialize()
+	return acc
+}
+
 // lastLocal tracks the most recent access to an address per thread.
 type lastLocal struct {
-	acc   race.Access
+	acc   accRec
 	valid bool
 	// remote holds an intervening remote access since the local one.
-	remote      race.Access
+	remote      accRec
 	remoteValid bool
+}
+
+// tripleKey identifies a static violation for in-run dedup without
+// building the ID string: instruction identity is pointer identity
+// within one module.
+type tripleKey struct {
+	first, remote, second *ir.Instr
+	kind                  Kind
 }
 
 // Detector is an interpreter observer detecting unserializable triples.
@@ -103,7 +125,7 @@ type lastLocal struct {
 // what prunes false alarms.
 type Detector struct {
 	state map[int64]map[interp.ThreadID]*lastLocal
-	byID  map[string]*Report
+	byKey map[tripleKey]*Report
 	order []*Report
 	// MaxGap bounds (in steps) how far apart the first and second local
 	// access may be for the triple to count (default 2000); local
@@ -112,12 +134,19 @@ type Detector struct {
 }
 
 var _ interp.Observer = (*Detector)(nil)
+var _ interp.StackPolicy = (*Detector)(nil)
+
+// NeedsStack implements interp.StackPolicy: only memory accesses can end
+// up in a report.
+func (d *Detector) NeedsStack(k interp.EventKind) bool {
+	return k == interp.EvRead || k == interp.EvWrite
+}
 
 // NewDetector returns a fresh detector.
 func NewDetector() *Detector {
 	return &Detector{
 		state:  make(map[int64]map[interp.ThreadID]*lastLocal),
-		byID:   make(map[string]*Report),
+		byKey:  make(map[tripleKey]*Report),
 		MaxGap: 2000,
 	}
 }
@@ -131,9 +160,12 @@ func (d *Detector) OnEvent(m *interp.Machine, e interp.Event) {
 		return
 	}
 	isWrite := e.Kind == interp.EvWrite
-	acc := race.Access{
-		TID: e.TID, IsWrite: isWrite, Addr: e.Addr, Val: e.Val,
-		Instr: e.Instr, Stack: e.Stack, Step: e.Step,
+	acc := accRec{
+		acc: race.Access{
+			TID: e.TID, IsWrite: isWrite, Addr: e.Addr, Val: e.Val,
+			Instr: e.Instr, Step: e.Step,
+		},
+		sref: e.StackRef(),
 	}
 	perThread := d.state[e.Addr]
 	if perThread == nil {
@@ -158,8 +190,8 @@ func (d *Detector) OnEvent(m *interp.Machine, e interp.Event) {
 		ll = &lastLocal{}
 		perThread[e.TID] = ll
 	}
-	if ll.valid && ll.remoteValid && e.Step-ll.acc.Step <= d.maxGap() {
-		if kind, ok := classify(ll.acc.IsWrite, ll.remote.IsWrite, isWrite); ok {
+	if ll.valid && ll.remoteValid && e.Step-ll.acc.acc.Step <= d.maxGap() {
+		if kind, ok := classify(ll.acc.acc.IsWrite, ll.remote.acc.IsWrite, isWrite); ok {
 			d.report(m, kind, ll.acc, ll.remote, acc)
 		}
 	}
@@ -193,16 +225,18 @@ func classify(w1, wr, w2 bool) (Kind, bool) {
 	}
 }
 
-func (d *Detector) report(m *interp.Machine, kind Kind, first, remote, second race.Access) {
-	r := &Report{
-		Kind: kind, First: first, Remote: remote, Second: second,
-		AddrName: m.Mem().NameFor(second.Addr), Count: 1,
-	}
-	if existing, ok := d.byID[r.ID()]; ok {
+func (d *Detector) report(m *interp.Machine, kind Kind, first, remote, second accRec) {
+	key := tripleKey{first.acc.Instr, remote.acc.Instr, second.acc.Instr, kind}
+	if existing, ok := d.byKey[key]; ok {
 		existing.Count++
 		return
 	}
-	d.byID[r.ID()] = r
+	r := &Report{
+		Kind: kind, First: first.materialize(), Remote: remote.materialize(),
+		Second:   second.materialize(),
+		AddrName: m.Mem().NameFor(second.acc.Addr), Count: 1,
+	}
+	d.byKey[key] = r
 	d.order = append(d.order, r)
 }
 

@@ -101,6 +101,12 @@ type Monitor struct {
 }
 
 var _ interp.Observer = (*Monitor)(nil)
+var _ interp.StackPolicy = (*Monitor)(nil)
+
+// NeedsStack implements interp.StackPolicy: the monitor records
+// instructions and values, never call stacks, so the machine can skip
+// stack capture entirely when only a monitor is attached.
+func (m *Monitor) NeedsStack(interp.EventKind) bool { return false }
 
 // NewMonitor returns a monitor over the given scope (nil = audit all).
 func NewMonitor(scope *Scope) *Monitor {

@@ -34,6 +34,7 @@ func BenchmarkStepThroughput(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if !m.Step() {
@@ -78,6 +79,7 @@ entry:
 // join, and scheduler churn.
 func BenchmarkContendedRun(b *testing.B) {
 	mod := ir.MustParse("bench.oir", contendedBenchSrc)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		m, err := New(Config{Module: mod, Sched: &rr{last: -1}, MaxSteps: 100000})
 		if err != nil {

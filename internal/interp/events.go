@@ -29,6 +29,8 @@ const (
 	EvBranch
 	EvCall
 	EvRet
+
+	evKindCount // array bound for per-kind tables
 )
 
 var eventNames = map[EventKind]string{
@@ -45,6 +47,42 @@ func (k EventKind) String() string {
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
 
+// StackRef is a zero-allocation handle on a thread's call stack at one
+// instruction: the immutable caller chain (shared with the thread's
+// frames) plus the innermost function and position. Capturing one is a
+// few word copies, so the machine attaches a ref to every event that
+// any observer declared interest in; materializing the full
+// callstack.Stack is deferred to the rare consumer that actually prints
+// or analyzes it (a race report, a watched read).
+type StackRef struct {
+	chain *callstack.Node
+	fn    string
+	pos   ir.Pos
+}
+
+// IsZero reports whether the ref captures nothing (no stack was
+// requested for the event, or the thread had no frames).
+func (r StackRef) IsZero() bool { return r.fn == "" && r.chain == nil }
+
+// Depth returns the number of frames the materialized stack would have.
+func (r StackRef) Depth() int {
+	if r.IsZero() {
+		return 0
+	}
+	return r.chain.Depth() + 1
+}
+
+// Materialize builds the callstack.Stack the ref denotes. The result is
+// freshly allocated (outer entries may share the chain's cached prefix
+// backing) and must be treated as read-only, like every stack the
+// interpreter hands out.
+func (r StackRef) Materialize() callstack.Stack {
+	if r.IsZero() {
+		return nil
+	}
+	return r.chain.Materialize(callstack.Entry{Fn: r.fn, Pos: r.pos})
+}
+
 // Event is one runtime event.
 type Event struct {
 	Kind  EventKind
@@ -53,11 +91,20 @@ type Event struct {
 	Val   int64 // value read or written; branch: 1=then 0=else
 	Aux   int64 // spawn/join: peer thread id; alloc: size
 	Instr *ir.Instr
-	// Stack is a fresh snapshot built for this event; observers may retain
-	// it without copying.
-	Stack callstack.Stack
 	Step  int
+
+	// sref is the lazily materializable call-stack handle. It is only
+	// populated when some observer declared (via StackPolicy) that it
+	// needs stacks for this event kind; capture is O(1) and
+	// allocation-free either way.
+	sref StackRef
 }
+
+// StackRef returns the event's call-stack handle. It is the zero ref
+// when no attached observer declared a need for stacks of this kind.
+// Observers may retain it; materialize with StackRef.Materialize or,
+// memoized per step, with Machine.EventStack.
+func (e Event) StackRef() StackRef { return e.sref }
 
 // IsAccess reports whether the event is a plain memory access.
 func (e Event) IsAccess() bool { return e.Kind == EvRead || e.Kind == EvWrite }
@@ -74,6 +121,16 @@ func (e Event) String() string {
 // interpreter step, so they see a totally ordered event stream.
 type Observer interface {
 	OnEvent(m *Machine, e Event)
+}
+
+// StackPolicy is an optional refinement of Observer: implementations
+// declare which event kinds they need call stacks for, and the machine
+// skips stack capture entirely for kinds no observer wants. Observers
+// that do not implement it are conservatively assumed to need stacks
+// for every kind. An observer that returned false for a kind must not
+// materialize that event's stack.
+type StackPolicy interface {
+	NeedsStack(k EventKind) bool
 }
 
 // ObserverFunc adapts a function to Observer.

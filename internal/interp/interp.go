@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/conanalysis/owl/internal/callstack"
 	"github.com/conanalysis/owl/internal/ir"
 )
 
@@ -142,6 +143,28 @@ type Machine struct {
 
 	rngState uint64 // deterministic per-machine PRNG for rand intrinsic
 	hasObs   bool   // skip event construction entirely when nobody listens
+
+	// needStack[k] records whether any observer declared (via the
+	// StackPolicy interface) that it needs call stacks for event kind k;
+	// emit only captures a StackRef for kinds somebody wants.
+	needStack [evKindCount]bool
+
+	// phiBuf and argBuf are reused scratch buffers for block-entry phi
+	// evaluation and call-argument evaluation, keeping the interpreter
+	// hot path allocation-free.
+	phiBuf []phiUpdate
+	argBuf []int64
+
+	// stackMemo caches the last materialized event stack per (step,
+	// thread) so several observers of one event share one allocation.
+	stackMemoStep int
+	stackMemoTID  ThreadID
+	stackMemo     callstack.Stack
+}
+
+type phiUpdate struct {
+	dst string
+	val int64
 }
 
 // New builds a machine for the given configuration. The module must be
@@ -164,17 +187,26 @@ func New(cfg Config) (*Machine, error) {
 		return nil, fmt.Errorf("interp: entry function @%s not found", cfg.Entry)
 	}
 	m := &Machine{
-		cfg:        cfg,
-		mod:        cfg.Module,
-		mem:        NewArena(),
-		fs:         NewFS(),
-		globals:    make(map[string]int64),
-		funcIDs:    make(map[string]int64),
-		interns:    make(map[string]int64),
-		mutexOwner: make(map[int64]ThreadID),
-		hasObs:     len(cfg.Observers) > 0,
-		uid:        1000, // unprivileged by default; setuid(0) is the attack
-		rngState:   0x9e3779b97f4a7c15,
+		cfg:           cfg,
+		mod:           cfg.Module,
+		mem:           NewArena(),
+		fs:            NewFS(),
+		globals:       make(map[string]int64),
+		funcIDs:       make(map[string]int64),
+		interns:       make(map[string]int64),
+		mutexOwner:    make(map[int64]ThreadID),
+		hasObs:        len(cfg.Observers) > 0,
+		uid:           1000, // unprivileged by default; setuid(0) is the attack
+		rngState:      0x9e3779b97f4a7c15,
+		stackMemoStep: -1,
+	}
+	for _, o := range cfg.Observers {
+		sp, declared := o.(StackPolicy)
+		for k := EvRead; k < evKindCount; k++ {
+			if !declared || sp.NeedsStack(k) {
+				m.needStack[k] = true
+			}
+		}
 	}
 	for _, g := range cfg.Module.Globals {
 		b := m.mem.Alloc(int64(g.Size), BlockGlobal, "@"+g.Name, nil)
@@ -266,11 +298,9 @@ func (m *Machine) enterBlock(t *Thread, blk *ir.Block, from string) {
 	fr.PrevBlock = from
 	fr.Block = blk
 	fr.PC = 0
-	// Evaluate leading phis against a snapshot.
-	var updates []struct {
-		dst string
-		val int64
-	}
+	// Evaluate leading phis against a snapshot (scratch buffer reused
+	// across calls — block entry is on the interpreter hot path).
+	updates := m.phiBuf[:0]
 	for _, in := range blk.Instrs {
 		if in.Op != ir.OpPhi {
 			break
@@ -288,22 +318,43 @@ func (m *Machine) enterBlock(t *Thread, blk *ir.Block, from string) {
 			// No matching edge: LLVM would call this malformed; we use 0.
 			v = 0
 		}
-		updates = append(updates, struct {
-			dst string
-			val int64
-		}{in.Dst, v})
+		updates = append(updates, phiUpdate{in.Dst, v})
 		fr.PC++
 	}
 	for _, u := range updates {
 		fr.Regs[u.dst] = u.val
 	}
+	m.phiBuf = updates[:0]
 }
 
 func (m *Machine) emit(e Event) {
 	e.Step = m.step
+	if m.needStack[e.Kind] {
+		// Capture is a handle copy, not a snapshot: the caller chain is
+		// immutable and the innermost position is the emitting
+		// instruction (every emit site runs before the PC advances).
+		e.sref = m.threads[e.TID].stackRef()
+	}
 	for _, o := range m.cfg.Observers {
 		o.OnEvent(m, e)
 	}
+}
+
+// EventStack materializes the event's call stack, memoized per (step,
+// thread) so several observers of the same event share one allocation.
+// It returns nil when no observer declared a need for stacks of the
+// event's kind (see StackPolicy). The result must be treated as
+// read-only.
+func (m *Machine) EventStack(e Event) callstack.Stack {
+	if e.sref.IsZero() {
+		return nil
+	}
+	if m.stackMemoStep == e.Step && m.stackMemoTID == e.TID && m.stackMemo != nil {
+		return m.stackMemo
+	}
+	st := e.sref.Materialize()
+	m.stackMemoStep, m.stackMemoTID, m.stackMemo = e.Step, e.TID, st
+	return st
 }
 
 func (m *Machine) fault(t *Thread, in *ir.Instr, f *Fault) {
@@ -589,7 +640,7 @@ func (m *Machine) exec(t *Thread, in *ir.Instr) {
 			if f == nil {
 				fr.Regs[in.Dst] = v
 				if m.hasObs {
-					m.emit(Event{Kind: EvRead, TID: t.ID, Addr: addr, Val: v, Instr: in, Stack: t.Stack()})
+					m.emit(Event{Kind: EvRead, TID: t.ID, Addr: addr, Val: v, Instr: in})
 				}
 				advance()
 				return
@@ -606,7 +657,7 @@ func (m *Machine) exec(t *Thread, in *ir.Instr) {
 			if f == nil {
 				if f = m.mem.Store(addr, val); f == nil {
 					if m.hasObs {
-						m.emit(Event{Kind: EvWrite, TID: t.ID, Addr: addr, Val: val, Instr: in, Stack: t.Stack()})
+						m.emit(Event{Kind: EvWrite, TID: t.ID, Addr: addr, Val: val, Instr: in})
 					}
 					advance()
 					return
@@ -649,7 +700,7 @@ func (m *Machine) exec(t *Thread, in *ir.Instr) {
 		c, _ := m.eval(t, in.Args[0])
 		taken := c != 0
 		if m.hasObs {
-			m.emit(Event{Kind: EvBranch, TID: t.ID, Val: boolToInt(taken), Instr: in, Stack: t.Stack()})
+			m.emit(Event{Kind: EvBranch, TID: t.ID, Val: boolToInt(taken), Instr: in})
 		}
 		target := in.Args[2].Name
 		if taken {
@@ -678,7 +729,7 @@ func (m *Machine) exec(t *Thread, in *ir.Instr) {
 		fr.Allocas = append(fr.Allocas, b)
 		fr.Regs[in.Dst] = b.Base
 		if m.hasObs {
-			m.emit(Event{Kind: EvAlloc, TID: t.ID, Addr: b.Base, Aux: n, Instr: in, Stack: t.Stack()})
+			m.emit(Event{Kind: EvAlloc, TID: t.ID, Addr: b.Base, Aux: n, Instr: in})
 		}
 		advance()
 
@@ -716,9 +767,12 @@ func (m *Machine) exec(t *Thread, in *ir.Instr) {
 // ret pops the thread's top frame, delivering v to the caller.
 func (m *Machine) ret(t *Thread, v int64) {
 	fr := t.Top()
-	for _, b := range fr.Allocas {
-		b.Freed = true
-		b.FreeStack = t.Stack()
+	if len(fr.Allocas) > 0 {
+		st := t.Stack()
+		for _, b := range fr.Allocas {
+			b.Freed = true
+			b.FreeStack = st
+		}
 	}
 	t.Frames = t.Frames[:len(t.Frames)-1]
 	if len(t.Frames) == 0 {
@@ -775,7 +829,7 @@ func (m *Machine) execCall(t *Thread, in *ir.Instr) {
 }
 
 func (m *Machine) callFunc(t *Thread, in *ir.Instr, fn *ir.Func) {
-	args := make([]int64, 0, len(in.CallArgs()))
+	args := m.argBuf[:0]
 	for _, a := range in.CallArgs() {
 		v, f := m.eval(t, a)
 		if f != nil {
@@ -785,14 +839,19 @@ func (m *Machine) callFunc(t *Thread, in *ir.Instr, fn *ir.Func) {
 		args = append(args, v)
 	}
 	if m.hasObs {
-		m.emit(Event{Kind: EvCall, TID: t.ID, Instr: in, Stack: t.Stack()})
+		m.emit(Event{Kind: EvCall, TID: t.ID, Instr: in})
 	}
-	fr := &Frame{Fn: fn, Regs: make(map[string]int64, 8), CallInstr: in}
+	caller := t.Top()
+	fr := &Frame{
+		Fn: fn, Regs: make(map[string]int64, 8), CallInstr: in,
+		chain: callstack.PushNode(caller.chain, callstack.Entry{Fn: caller.Fn.Name, Pos: in.Pos}),
+	}
 	for i, p := range fn.Params {
 		if i < len(args) {
 			fr.Regs[p] = args[i]
 		}
 	}
+	m.argBuf = args[:0]
 	t.Frames = append(t.Frames, fr)
 	m.enterBlock(t, fn.Entry(), "")
 }

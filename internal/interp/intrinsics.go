@@ -39,7 +39,10 @@ func IsIntrinsic(name string) bool { return isIntrinsic(name) }
 // when the thread wakes.
 func (m *Machine) callIntrinsic(t *Thread, in *ir.Instr, name string) {
 	fr := t.Top()
-	args := make([]int64, 0, len(in.CallArgs()))
+	// Reuse the machine's scratch buffer: no intrinsic re-enters argument
+	// evaluation, and the only consumer that outlives this call (spawn's
+	// newThread) copies the values out immediately.
+	args := m.argBuf[:0]
 	for _, a := range in.CallArgs() {
 		v, f := m.eval(t, a)
 		if f != nil {
@@ -48,6 +51,7 @@ func (m *Machine) callIntrinsic(t *Thread, in *ir.Instr, name string) {
 		}
 		args = append(args, v)
 	}
+	m.argBuf = args[:0]
 	arg := func(i int) int64 {
 		if i < len(args) {
 			return args[i]
@@ -71,7 +75,7 @@ func (m *Machine) callIntrinsic(t *Thread, in *ir.Instr, name string) {
 		}
 		child := m.newThread(fn, args[1:], in)
 		if m.hasObs {
-			m.emit(Event{Kind: EvSpawn, TID: t.ID, Aux: int64(child.ID), Instr: in, Stack: t.Stack()})
+			m.emit(Event{Kind: EvSpawn, TID: t.ID, Aux: int64(child.ID), Instr: in})
 		}
 		done(int64(child.ID))
 
@@ -85,7 +89,7 @@ func (m *Machine) callIntrinsic(t *Thread, in *ir.Instr, name string) {
 		switch target.Status {
 		case StatusDone, StatusFaulted:
 			if m.hasObs {
-				m.emit(Event{Kind: EvJoin, TID: t.ID, Aux: int64(target.ID), Instr: in, Stack: t.Stack()})
+				m.emit(Event{Kind: EvJoin, TID: t.ID, Aux: int64(target.ID), Instr: in})
 			}
 			done(target.Result)
 		default:
@@ -124,7 +128,7 @@ func (m *Machine) callIntrinsic(t *Thread, in *ir.Instr, name string) {
 		}
 		m.mutexOwner[addr] = t.ID
 		if m.hasObs {
-			m.emit(Event{Kind: EvAcquire, TID: t.ID, Addr: addr, Instr: in, Stack: t.Stack()})
+			m.emit(Event{Kind: EvAcquire, TID: t.ID, Addr: addr, Instr: in})
 		}
 		done(0)
 
@@ -133,7 +137,7 @@ func (m *Machine) callIntrinsic(t *Thread, in *ir.Instr, name string) {
 		if owner, held := m.mutexOwner[addr]; held && owner == t.ID {
 			delete(m.mutexOwner, addr)
 			if m.hasObs {
-				m.emit(Event{Kind: EvRelease, TID: t.ID, Addr: addr, Instr: in, Stack: t.Stack()})
+				m.emit(Event{Kind: EvRelease, TID: t.ID, Addr: addr, Instr: in})
 			}
 			for _, w := range m.threads {
 				if w.Status == StatusBlockedMutex && w.WaitAddr == addr {
@@ -147,7 +151,7 @@ func (m *Machine) callIntrinsic(t *Thread, in *ir.Instr, name string) {
 		b := m.mem.Alloc(arg(0), BlockHeap,
 			fmt.Sprintf("malloc@%s:%d", fr.Fn.Name, in.Pos.Line), t.Stack())
 		if m.hasObs {
-			m.emit(Event{Kind: EvAlloc, TID: t.ID, Addr: b.Base, Aux: arg(0), Instr: in, Stack: t.Stack()})
+			m.emit(Event{Kind: EvAlloc, TID: t.ID, Addr: b.Base, Aux: arg(0), Instr: in})
 		}
 		done(b.Base)
 
@@ -158,7 +162,7 @@ func (m *Machine) callIntrinsic(t *Thread, in *ir.Instr, name string) {
 			return
 		}
 		if m.hasObs {
-			m.emit(Event{Kind: EvFree, TID: t.ID, Addr: arg(0), Instr: in, Stack: t.Stack()})
+			m.emit(Event{Kind: EvFree, TID: t.ID, Addr: arg(0), Instr: in})
 		}
 		done(0)
 
@@ -172,7 +176,7 @@ func (m *Machine) callIntrinsic(t *Thread, in *ir.Instr, name string) {
 				return
 			}
 			if m.hasObs {
-				m.emit(Event{Kind: EvRead, TID: t.ID, Addr: src + i, Val: v, Instr: in, Stack: t.Stack()})
+				m.emit(Event{Kind: EvRead, TID: t.ID, Addr: src + i, Val: v, Instr: in})
 			}
 			if f := m.mem.Store(dst+i, v); f != nil {
 				f.Addr = dst + i
@@ -180,7 +184,7 @@ func (m *Machine) callIntrinsic(t *Thread, in *ir.Instr, name string) {
 				return
 			}
 			if m.hasObs {
-				m.emit(Event{Kind: EvWrite, TID: t.ID, Addr: dst + i, Val: v, Instr: in, Stack: t.Stack()})
+				m.emit(Event{Kind: EvWrite, TID: t.ID, Addr: dst + i, Val: v, Instr: in})
 			}
 		}
 		done(dst)
@@ -194,7 +198,7 @@ func (m *Machine) callIntrinsic(t *Thread, in *ir.Instr, name string) {
 				return
 			}
 			if m.hasObs {
-				m.emit(Event{Kind: EvWrite, TID: t.ID, Addr: p + i, Val: v, Instr: in, Stack: t.Stack()})
+				m.emit(Event{Kind: EvWrite, TID: t.ID, Addr: p + i, Val: v, Instr: in})
 			}
 		}
 		done(p)
@@ -214,7 +218,7 @@ func (m *Machine) callIntrinsic(t *Thread, in *ir.Instr, name string) {
 				return
 			}
 			if m.hasObs {
-				m.emit(Event{Kind: EvWrite, TID: t.ID, Addr: dst + i, Val: v, Instr: in, Stack: t.Stack()})
+				m.emit(Event{Kind: EvWrite, TID: t.ID, Addr: dst + i, Val: v, Instr: in})
 			}
 			if v == 0 {
 				break

@@ -125,18 +125,21 @@ func (f *Fault) Error() string {
 // allocated deterministically, so identical schedules produce identical
 // addresses — the property OWL's replay-based verifiers depend on.
 // Address 0 is NULL and never allocated; the first block starts at
-// arenaBase to keep small integers distinguishable from pointers in
+// ArenaBase to keep small integers distinguishable from pointers in
 // reports.
 type Arena struct {
 	blocks []*MemBlock // sorted by Base
 	next   int64
 }
 
-const arenaBase = 0x10000
+// ArenaBase is the lowest address the arena hands out. Addresses are
+// dense above it, which lets flat (array-indexed) shadow memories map
+// an address to a slot with one subtraction.
+const ArenaBase = 0x10000
 
 // NewArena returns an empty arena.
 func NewArena() *Arena {
-	return &Arena{next: arenaBase}
+	return &Arena{next: ArenaBase}
 }
 
 // Alloc allocates a block of size words.

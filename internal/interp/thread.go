@@ -57,6 +57,12 @@ type Frame struct {
 	// Allocas tracks blocks allocated by alloca in this frame; freed on
 	// return (function-lifetime storage).
 	Allocas []*MemBlock
+
+	// chain is the immutable call chain of this frame's callers: the
+	// entries of every outer frame, which are fixed the moment the call
+	// executes. Capturing a stack is then one StackRef copy (chain plus
+	// the moving innermost position) instead of a per-event walk.
+	chain *callstack.Node
 }
 
 // Cur returns the instruction the frame is about to execute, or nil at
@@ -110,24 +116,26 @@ func (t *Thread) Cur() *ir.Instr {
 	return fr.Cur()
 }
 
+// stackRef captures the thread's call stack as a zero-allocation
+// handle: the top frame's immutable caller chain plus the currently
+// executing function and position.
+func (t *Thread) stackRef() StackRef {
+	fr := t.Top()
+	if fr == nil {
+		return StackRef{}
+	}
+	pos := ir.Pos{}
+	if in := fr.Cur(); in != nil {
+		pos = in.Pos
+	}
+	return StackRef{chain: fr.chain, fn: fr.Fn.Name, pos: pos}
+}
+
 // Stack captures the thread's call stack, outermost first. The innermost
 // entry's position is the currently executing instruction, matching how
 // TSAN and LLDB print stacks.
 func (t *Thread) Stack() callstack.Stack {
-	st := make(callstack.Stack, 0, len(t.Frames))
-	for i, fr := range t.Frames {
-		pos := ir.Pos{}
-		if i < len(t.Frames)-1 {
-			// Outer frame: position of the call into the next frame.
-			if ci := t.Frames[i+1].CallInstr; ci != nil {
-				pos = ci.Pos
-			}
-		} else if in := fr.Cur(); in != nil {
-			pos = in.Pos
-		}
-		st = append(st, callstack.Entry{Fn: fr.Fn.Name, Pos: pos})
-	}
-	return st
+	return t.stackRef().Materialize()
 }
 
 // Runnable reports whether the scheduler may pick this thread.

@@ -23,6 +23,7 @@ no:
 `
 	}
 	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Parse("bench.oir", src); err != nil {
@@ -63,6 +64,7 @@ exit:
 }
 `)
 	f := m.Func("f")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		BuildCFG(f)

@@ -368,6 +368,7 @@ func detect(p Program, runs, workers int, benign *race.Annotations, mc *metrics.
 			return
 		}
 		m.Run()
+		d.FlushMetrics(mc) // Collector.Count is mutex-guarded; safe per worker
 		perSeed[i] = d.Reports()
 	})
 	merged := map[string]*race.Report{}

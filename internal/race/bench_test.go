@@ -44,20 +44,73 @@ entry:
 }
 `
 
-// BenchmarkDetectorOverhead measures a full run with the happens-before
-// detector attached (mixed racy and lock-protected traffic).
+// benchRun executes one full benchSrc run with the given observer
+// attached, asserting races were found when a detector is present.
+func benchRun(b *testing.B, mod *ir.Module, obs ...interp.Observer) {
+	b.Helper()
+	m, err := interp.New(interp.Config{
+		Module: mod, Sched: sched.NewRoundRobin(1),
+		Observers: obs, MaxSteps: 100000,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.Run()
+}
+
+// BenchmarkDetectorOverhead measures a full run with the epoch-based
+// happens-before detector attached (mixed racy and lock-protected
+// traffic): FastTrack shadow words, lazy stack capture.
 func BenchmarkDetectorOverhead(b *testing.B) {
 	mod := ir.MustParse("bench.oir", benchSrc)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		d := NewDetector()
-		m, err := interp.New(interp.Config{
-			Module: mod, Sched: sched.NewRoundRobin(1),
-			Observers: []interp.Observer{d}, MaxSteps: 100000,
-		})
-		if err != nil {
-			b.Fatal(err)
+		benchRun(b, mod, d)
+		if len(d.Reports()) == 0 {
+			b.Fatal("expected races")
 		}
-		m.Run()
+	}
+}
+
+// BenchmarkDetectorFullVC is the ablation arm for the epoch shadow
+// memory: the reference detector keeps full per-address vector-clock
+// read maps and materializes a call stack on every access (the pre-epoch
+// implementation, byte-identical reports).
+func BenchmarkDetectorFullVC(b *testing.B) {
+	mod := ir.MustParse("bench.oir", benchSrc)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := NewReferenceDetector()
+		benchRun(b, mod, d)
+		if len(d.Reports()) == 0 {
+			b.Fatal("expected races")
+		}
+	}
+}
+
+// eagerStackObserver forces eager stack materialization on every access
+// while delegating detection to the epoch detector. It deliberately does
+// not implement interp.StackPolicy, so the machine also captures stack
+// refs for every event kind — together the pre-PR emit-site behavior.
+type eagerStackObserver struct{ d *Detector }
+
+func (o eagerStackObserver) OnEvent(m *interp.Machine, e interp.Event) {
+	if e.Kind == interp.EvRead || e.Kind == interp.EvWrite {
+		_ = e.StackRef().Materialize()
+	}
+	o.d.OnEvent(m, e)
+}
+
+// BenchmarkDetectorEagerStacks is the ablation arm for lazy stack
+// capture: epoch shadow memory, but a stack is materialized for every
+// access event instead of only for reported races.
+func BenchmarkDetectorEagerStacks(b *testing.B) {
+	mod := ir.MustParse("bench.oir", benchSrc)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := NewDetector()
+		benchRun(b, mod, eagerStackObserver{d})
 		if len(d.Reports()) == 0 {
 			b.Fatal("expected races")
 		}
@@ -68,13 +121,8 @@ func BenchmarkDetectorOverhead(b *testing.B) {
 // overhead comparison.
 func BenchmarkBaselineNoDetector(b *testing.B) {
 	mod := ir.MustParse("bench.oir", benchSrc)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		m, err := interp.New(interp.Config{
-			Module: mod, Sched: sched.NewRoundRobin(1), MaxSteps: 100000,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		m.Run()
+		benchRun(b, mod)
 	}
 }

@@ -1,8 +1,9 @@
 // Package race implements a happens-before data-race detector in the style
 // of ThreadSanitizer, the application-level detector OWL integrates (§6.3).
 // It consumes the interpreter's event stream: plain reads/writes are
-// checked against vector clocks; lock acquire/release and thread
-// spawn/join install happens-before edges.
+// checked against FastTrack-style epoch shadow words (falling back to full
+// vector-clock read sets only where reads are concurrently shared); lock
+// acquire/release and thread spawn/join install happens-before edges.
 //
 // Reports are deduplicated by the unordered pair of racing instructions,
 // like TSAN's per-code-location suppression, and carry both call stacks,
@@ -12,7 +13,14 @@
 // The detector honours benign annotations (Annotations): after OWL's
 // ad-hoc synchronization detector identifies a sync variable, the
 // corresponding accesses are suppressed on re-run — the paper's TSAN
-// markup step (§5.1).
+// markup step (§5.1). Annotations must not be mutated while a run is in
+// progress.
+//
+// Two implementations share this contract: Detector (the epoch-based
+// production detector) and ReferenceDetector (the original full
+// vector-clock implementation, kept as the differential-testing oracle
+// and the eager arm of the ablation benchmarks). Both produce identical
+// report streams for identical event streams.
 package race
 
 import (
@@ -23,7 +31,6 @@ import (
 	"github.com/conanalysis/owl/internal/callstack"
 	"github.com/conanalysis/owl/internal/interp"
 	"github.com/conanalysis/owl/internal/ir"
-	"github.com/conanalysis/owl/internal/vclock"
 )
 
 // Access is one side of a race.
@@ -60,7 +67,8 @@ type Report struct {
 }
 
 // ID returns a stable identity for the static race (unordered instruction
-// pair + address label).
+// pair). It is built on demand — display and cross-run merging use it;
+// the detectors' in-run dedup keys on the instruction pointers instead.
 func (r *Report) ID() string {
 	a, b := r.Prev.Instr.FullName(), r.Cur.Instr.FullName()
 	if a > b {
@@ -155,11 +163,7 @@ func (a *Annotations) suppresses(addrName string, i1, i2 *ir.Instr) bool {
 	if a == nil {
 		return false
 	}
-	base := addrName
-	if i := strings.IndexByte(base, '+'); i >= 0 {
-		base = base[:i]
-	}
-	if a.addrNames[base] || a.addrNames[addrName] {
+	if a.suppressesAddr(addrName) {
 		return true
 	}
 	if a.pairs[[2]*ir.Instr{i1, i2}] {
@@ -168,145 +172,22 @@ func (a *Annotations) suppresses(addrName string, i1, i2 *ir.Instr) bool {
 	return a.instrs[i1] || a.instrs[i2]
 }
 
-type lastAccess struct {
-	tid   interp.ThreadID
-	tick  uint64
-	acc   Access
-	valid bool
-}
+// hasVars reports whether any variable-name suppressions exist. Unlike
+// pair and instruction suppressions (which are constant for a given
+// static race), variable suppressions can differ between dynamic
+// occurrences of one pair — "@a+1" vs "@a+2" — so only they force the
+// detectors to resolve the address name on the dedup hit path.
+func (a *Annotations) hasVars() bool { return a != nil && len(a.addrNames) > 0 }
 
-type varState struct {
-	write lastAccess
-	reads map[interp.ThreadID]lastAccess
-}
-
-// Detector is the race detector; attach it as an interpreter observer.
-type Detector struct {
-	// Benign, when non-nil, suppresses annotated races.
-	Benign *Annotations
-
-	vcs   map[interp.ThreadID]*vclock.VC
-	locks map[int64]*vclock.VC
-	vars  map[int64]*varState
-	byID  map[string]*Report
-	order []*Report
-}
-
-var _ interp.Observer = (*Detector)(nil)
-
-// NewDetector returns a fresh detector.
-func NewDetector() *Detector {
-	return &Detector{
-		vcs:   make(map[interp.ThreadID]*vclock.VC),
-		locks: make(map[int64]*vclock.VC),
-		vars:  make(map[int64]*varState),
-		byID:  make(map[string]*Report),
+// suppressesAddr reports whether the address label (or its base block
+// name, with any "+off" suffix stripped) is annotated benign.
+func (a *Annotations) suppressesAddr(addrName string) bool {
+	if a == nil {
+		return false
 	}
-}
-
-// Reports returns the deduplicated race reports in first-seen order.
-func (d *Detector) Reports() []*Report { return d.order }
-
-func (d *Detector) vc(tid interp.ThreadID) *vclock.VC {
-	v := d.vcs[tid]
-	if v == nil {
-		v = vclock.New()
-		v.Tick(int(tid))
-		d.vcs[tid] = v
+	base := addrName
+	if i := strings.IndexByte(base, '+'); i >= 0 {
+		base = base[:i]
 	}
-	return v
-}
-
-func (d *Detector) state(addr int64) *varState {
-	s := d.vars[addr]
-	if s == nil {
-		s = &varState{reads: make(map[interp.ThreadID]lastAccess)}
-		d.vars[addr] = s
-	}
-	return s
-}
-
-// OnEvent implements interp.Observer.
-func (d *Detector) OnEvent(m *interp.Machine, e interp.Event) {
-	switch e.Kind {
-	case interp.EvAcquire:
-		if l := d.locks[e.Addr]; l != nil {
-			d.vc(e.TID).Join(l)
-		}
-	case interp.EvRelease:
-		me := d.vc(e.TID)
-		d.locks[e.Addr] = me.Copy()
-		me.Tick(int(e.TID))
-	case interp.EvSpawn:
-		parent := d.vc(e.TID)
-		child := parent.Copy()
-		child.Tick(int(e.Aux))
-		d.vcs[interp.ThreadID(e.Aux)] = child
-		parent.Tick(int(e.TID))
-	case interp.EvJoin:
-		if cv := d.vcs[interp.ThreadID(e.Aux)]; cv != nil {
-			d.vc(e.TID).Join(cv)
-		}
-	case interp.EvRead:
-		d.onRead(m, e)
-	case interp.EvWrite:
-		d.onWrite(m, e)
-	}
-}
-
-func (d *Detector) access(e interp.Event, isWrite bool) Access {
-	return Access{
-		TID: e.TID, IsWrite: isWrite, Addr: e.Addr, Val: e.Val,
-		Instr: e.Instr, Stack: e.Stack, Step: e.Step,
-	}
-}
-
-func (d *Detector) onRead(m *interp.Machine, e interp.Event) {
-	me := d.vc(e.TID)
-	s := d.state(e.Addr)
-	if s.write.valid && s.write.tid != e.TID &&
-		!me.HappensBefore(int(s.write.tid), s.write.tick) {
-		d.report(m, s.write.acc, d.access(e, false))
-	}
-	s.reads[e.TID] = lastAccess{
-		tid: e.TID, tick: me.Get(int(e.TID)), acc: d.access(e, false), valid: true,
-	}
-}
-
-func (d *Detector) onWrite(m *interp.Machine, e interp.Event) {
-	me := d.vc(e.TID)
-	s := d.state(e.Addr)
-	if s.write.valid && s.write.tid != e.TID &&
-		!me.HappensBefore(int(s.write.tid), s.write.tick) {
-		d.report(m, s.write.acc, d.access(e, true))
-	}
-	// One pass over the stored reads: a read ordered before this write is
-	// superseded (cleared, to bound state growth); an unordered read from
-	// another thread races and stays stored.
-	for tid, rd := range s.reads {
-		if me.HappensBefore(int(tid), rd.tick) {
-			delete(s.reads, tid)
-			continue
-		}
-		if rd.valid && tid != e.TID {
-			d.report(m, rd.acc, d.access(e, true))
-		}
-	}
-	s.write = lastAccess{
-		tid: e.TID, tick: me.Get(int(e.TID)), acc: d.access(e, true), valid: true,
-	}
-}
-
-func (d *Detector) report(m *interp.Machine, prev, cur Access) {
-	addrName := m.Mem().NameFor(cur.Addr)
-	if d.Benign.suppresses(addrName, prev.Instr, cur.Instr) {
-		return
-	}
-	r := &Report{Prev: prev, Cur: cur, AddrName: addrName, Count: 1}
-	if existing, ok := d.byID[r.ID()]; ok {
-		existing.Count++
-		return
-	}
-	d.byID[r.ID()] = r
-	d.order = append(d.order, r)
+	return a.addrNames[base] || a.addrNames[addrName]
 }

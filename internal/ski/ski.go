@@ -82,6 +82,13 @@ func newWatcher(det *race.Detector) *watcher {
 	return &watcher{det: det, watched: make(map[int64]*Report)}
 }
 
+// NeedsStack implements interp.StackPolicy: the wrapped race detector
+// needs access stacks, and the watch policy itself collects a stack per
+// watched read.
+func (w *watcher) NeedsStack(k interp.EventKind) bool {
+	return k == interp.EvRead || k == interp.EvWrite
+}
+
 // OnEvent feeds the race detector first, then applies the watch policy.
 func (w *watcher) OnEvent(m *interp.Machine, e interp.Event) {
 	w.det.OnEvent(m, e)
@@ -97,7 +104,7 @@ func (w *watcher) OnEvent(m *interp.Machine, e interp.Event) {
 	switch e.Kind {
 	case interp.EvRead:
 		if r, ok := w.watched[e.Addr]; ok {
-			r.Reads = append(r.Reads, WatchedRead{Instr: e.Instr, Stack: e.Stack, Val: e.Val})
+			r.Reads = append(r.Reads, WatchedRead{Instr: e.Instr, Stack: m.EventStack(e), Val: e.Val})
 		}
 	case interp.EvWrite:
 		if r, ok := w.watched[e.Addr]; ok {

@@ -1,0 +1,71 @@
+package vclock
+
+import "fmt"
+
+// Epoch is FastTrack's shadow-word unit: a (thread, tick) pair packed
+// into one machine word. Where a full vector clock records one tick per
+// thread, an epoch records the single access that matters for the common
+// case — the last write, or the last read while reads stay
+// thread-exclusive — so the detector's per-access state fits in a word
+// and the happens-before test is one comparison (§2 of the FastTrack
+// paper; TSAN's shadow cells use the same trick).
+//
+// The zero Epoch means "no access recorded": valid epochs always carry a
+// tick >= 1 because a thread's own clock component is ticked at creation
+// before any access is attributed to it.
+type Epoch uint64
+
+// epochTIDBits is the width of the thread-id field. 16 bits bounds a run
+// at 65535 threads, far above what the interpreter's explicit thread
+// machines reach; 48 tick bits overflow only after 2^48 release/spawn
+// operations by one thread, which a bounded run cannot produce.
+const (
+	epochTIDBits = 16
+	epochTickMax = uint64(1)<<(64-epochTIDBits) - 1
+)
+
+// MakeEpoch packs (tid, tick) into an epoch.
+func MakeEpoch(tid int, tick uint64) Epoch {
+	return Epoch(uint64(tid)<<(64-epochTIDBits) | (tick & epochTickMax))
+}
+
+// TID unpacks the thread id.
+func (e Epoch) TID() int { return int(uint64(e) >> (64 - epochTIDBits)) }
+
+// Tick unpacks the tick.
+func (e Epoch) Tick() uint64 { return uint64(e) & epochTickMax }
+
+// IsZero reports whether the epoch records no access.
+func (e Epoch) IsZero() bool { return e == 0 }
+
+func (e Epoch) String() string {
+	return fmt.Sprintf("%d@%d", e.Tick(), e.TID())
+}
+
+// Observes reports whether the access at epoch e happened before
+// everything this clock has seen — FastTrack's e ⊑ v test
+// (e.tick <= v[e.tid]) — without allocating.
+func (v *VC) Observes(e Epoch) bool {
+	return e.Tick() <= v.Get(e.TID())
+}
+
+// EpochOf returns the clock's current epoch for thread tid.
+func (v *VC) EpochOf(tid int) Epoch {
+	return MakeEpoch(tid, v.Get(tid))
+}
+
+// CopyFrom makes v an exact copy of o, reusing v's backing storage when
+// it is large enough — the non-allocating counterpart of Copy for
+// release-clock updates on a hot path.
+func (v *VC) CopyFrom(o *VC) {
+	if o == nil {
+		v.ticks = v.ticks[:0]
+		return
+	}
+	if cap(v.ticks) < len(o.ticks) {
+		v.ticks = make([]uint64, len(o.ticks))
+	} else {
+		v.ticks = v.ticks[:len(o.ticks)]
+	}
+	copy(v.ticks, o.ticks)
+}
