@@ -2,13 +2,20 @@
 #
 #   make ci              build + vet + test -race (the tier-1 gate)
 #   make test            plain test run
+#   make fmt-check       fail if any file needs gofmt (CI lint job)
+#   make golden          diff `owl-tables -stable` against the committed fixture
+#   make golden-update   refresh the fixture after an intentional output change
 #   make bench           full benchmark suite (tables, figures, ablations)
+#   make bench-smoke     every benchmark once     -> BENCH_smoke.json (CI)
 #   make bench-pipeline  parallel-speedup ablation -> BENCH_pipeline.json
 #   make bench-detector  race-detector ablation    -> BENCH_detector.json
+#   make bench-explore   exploration ablation      -> BENCH_explore.json
 
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: ci build vet test race bench bench-pipeline bench-detector clean
+.PHONY: ci build vet test race fmt-check golden golden-update \
+	bench bench-smoke bench-pipeline bench-detector bench-explore clean
 
 ci: build vet race
 
@@ -24,8 +31,32 @@ test:
 race:
 	$(GO) test -race ./...
 
+fmt-check:
+	@out="$$($(GOFMT) -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# The golden gate: the stable (timing-elided) owl-tables output is
+# committed under testdata/golden and must reproduce byte for byte.
+GOLDEN := testdata/golden/owl-tables.txt
+
+golden:
+	$(GO) run ./cmd/owl-tables -noise light -stable > BENCH_golden_actual.txt
+	diff -u $(GOLDEN) BENCH_golden_actual.txt
+	@rm -f BENCH_golden_actual.txt
+	@echo "golden output matches"
+
+golden-update:
+	mkdir -p testdata/golden
+	$(GO) run ./cmd/owl-tables -noise light -stable > $(GOLDEN)
+
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem .
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# Every benchmark in the repo exactly once: a cheap CI smoke proving the
+# harnesses still run; the -json stream lands in BENCH_smoke.json.
+bench-smoke:
+	$(GO) test -json -run '^$$' -bench . -benchtime 1x -benchmem ./... > BENCH_smoke.json
+	@sed -n 's/.*"Output":"\(.*\)"}$$/\1/p' BENCH_smoke.json | tr -d '\n' | xargs -0 printf '%b' | grep -E 'Benchmark.*op' || true
 
 # One build per variant (-benchtime 1x): the ablation compares sequential
 # vs workers={1,4,NumCPU} wall clock on the full workload registry. The
@@ -44,5 +75,15 @@ bench-detector:
 	$(GO) test -json -run '^$$' -bench 'BenchmarkDetector|BenchmarkBaselineNoDetector' -benchmem ./internal/race > BENCH_detector.json
 	@sed -n 's/.*"Output":"\(.*\)"}$$/\1/p' BENCH_detector.json | tr -d '\n' | xargs -0 printf '%b' | grep -E 'Benchmark.*op' || true
 
+# Exploration ablation (docs/EXPLORATION.md): the fixed-seed detect loop
+# vs the coverage-guided portfolio engine at the same run budget. The
+# benchmark itself asserts the acceptance gate (coverage finds >= races
+# everywhere and strictly more somewhere, or early-stops cheaper). The
+# -json stream (newline-delimited test2json) lands in BENCH_explore.json.
+bench-explore:
+	$(GO) test -json -run '^$$' -bench 'BenchmarkExploration' -benchtime 1x . > BENCH_explore.json
+	@sed -n 's/.*"Output":"\(.*\)"}$$/\1/p' BENCH_explore.json | tr -d '\n' | xargs -0 printf '%b' | grep -E 'Benchmark.*op' || true
+
 clean:
-	rm -f BENCH_pipeline.json BENCH_detector.json
+	rm -f BENCH_pipeline.json BENCH_detector.json BENCH_explore.json \
+		BENCH_smoke.json BENCH_golden_actual.txt

@@ -21,6 +21,7 @@ import (
 	"github.com/conanalysis/owl/internal/audit"
 	"github.com/conanalysis/owl/internal/eval"
 	"github.com/conanalysis/owl/internal/interp"
+	"github.com/conanalysis/owl/internal/metrics"
 	"github.com/conanalysis/owl/internal/owl"
 	"github.com/conanalysis/owl/internal/sched"
 	"github.com/conanalysis/owl/internal/vuln"
@@ -253,6 +254,102 @@ func BenchmarkParallelPipeline(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// explorationWorkloads lists the application workloads the exploration
+// ablation compares on (kernel workloads run under the SKI-style
+// detector, which has its own exploration loop).
+func explorationWorkloads() []*workloads.Workload {
+	var out []*workloads.Workload
+	for _, name := range workloads.Names() {
+		w := workloads.Get(name, workloads.NoiseLight)
+		if w.Kernel || len(w.Attacks) == 0 {
+			continue
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// BenchmarkExploration is the detect-stage exploration ablation behind
+// `make bench-explore`: the fixed-seed loop versus the coverage-guided
+// portfolio engine at the same run budget, pure detection only (the later
+// stages are disabled so the comparison isolates schedule exploration).
+// Each variant reports the total deduplicated races found across the
+// application workloads and the runs actually spent — coverage mode may
+// spend fewer when the search saturates. The acceptance gate: coverage
+// must find at least as many races as fixed on every workload, and
+// strictly more on at least one (or have stopped early with the same
+// findings). Run with -benchtime=1x.
+func BenchmarkExploration(b *testing.B) {
+	const budget = 24
+	detectOnly := owl.Options{
+		DetectRuns: budget, Budget: budget,
+		DisableAdhoc: true, DisableRaceVerify: true, DisableVulnVerify: true,
+	}
+	races := map[owl.ExploreMode]map[string]int{}
+	runsSpent := map[owl.ExploreMode]int{}
+	earlyStops := 0
+	for _, mode := range []owl.ExploreMode{owl.ExploreFixed, owl.ExploreCoverage} {
+		b.Run(string(mode), func(b *testing.B) {
+			var perWL map[string]int
+			var runs, early int
+			for i := 0; i < b.N; i++ {
+				perWL, runs, early = map[string]int{}, 0, 0
+				for _, w := range explorationWorkloads() {
+					rec := w.Recipe(w.Attacks[0].InputRecipe)
+					mc := metrics.New()
+					opts := detectOnly
+					opts.Explore = mode
+					opts.Metrics = mc
+					res, err := owl.Run(owl.Program{
+						Module: w.Module, Entry: w.Entry, Inputs: rec.Inputs, MaxSteps: w.MaxSteps,
+					}, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					perWL[w.Name] = len(res.Raw)
+					for _, c := range mc.Snapshot().Counters {
+						if c.Name == "owl.detect_runs" {
+							runs += int(c.Value)
+						}
+					}
+					for _, g := range mc.Snapshot().Gauges {
+						if g.Name == "sched.early_stop" && g.Value == 1 {
+							early++
+						}
+					}
+				}
+			}
+			total := 0
+			for _, n := range perWL {
+				total += n
+			}
+			b.ReportMetric(float64(total), "races")
+			b.ReportMetric(float64(runs), "runs")
+			races[mode] = perWL
+			runsSpent[mode] = runs
+			earlyStops = early
+		})
+	}
+	fixed, cov := races[owl.ExploreFixed], races[owl.ExploreCoverage]
+	if fixed == nil || cov == nil {
+		return // sub-benchmark filtered out; nothing to compare
+	}
+	strictlyMore := 0
+	for name, nf := range fixed {
+		nc := cov[name]
+		if nc < nf {
+			b.Errorf("%s: coverage found %d races, fixed found %d at equal budget", name, nc, nf)
+		}
+		if nc > nf {
+			strictlyMore++
+		}
+	}
+	if strictlyMore == 0 && !(earlyStops > 0 && runsSpent[owl.ExploreCoverage] < runsSpent[owl.ExploreFixed]) {
+		b.Errorf("coverage mode showed no win: races %v vs %v, runs %d vs %d",
+			cov, fixed, runsSpent[owl.ExploreCoverage], runsSpent[owl.ExploreFixed])
 	}
 }
 

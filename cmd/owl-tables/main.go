@@ -7,6 +7,10 @@
 // Usage:
 //
 //	owl-tables [-table all|1|2|3|4] [-noise full|light] [-workers N] [-metrics out.json]
+//	owl-tables [-explore fixed|coverage] [-budget N] [-stable]
+//
+// -stable elides the non-deterministic timing fields so the output can be
+// diffed byte-for-byte against the committed golden fixture (make golden).
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 
 	"github.com/conanalysis/owl/internal/eval"
 	"github.com/conanalysis/owl/internal/metrics"
+	"github.com/conanalysis/owl/internal/owl"
 	"github.com/conanalysis/owl/internal/report"
 	"github.com/conanalysis/owl/internal/workloads"
 )
@@ -34,6 +39,9 @@ func run(args []string) error {
 		noise      = fs.String("noise", "full", "workload noise level: light or full")
 		workers    = fs.Int("workers", 0, "parallel workload evaluations (0 = NumCPU)")
 		metricsOut = fs.String("metrics", "", `write per-stage metrics JSON to this file ("-" = stdout)`)
+		explore    = fs.String("explore", "fixed", "detect-stage schedule exploration: fixed or coverage")
+		budget     = fs.Int("budget", 0, "run budget for -explore=coverage (0 = detect runs)")
+		stable     = fs.Bool("stable", false, "deterministic output: elide timing fields (golden-fixture mode)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -42,16 +50,23 @@ func run(args []string) error {
 	if *noise == "light" {
 		lvl = workloads.NoiseLight
 	}
+	mode := owl.ExploreMode(*explore)
+	if mode != owl.ExploreFixed && mode != owl.ExploreCoverage {
+		return fmt.Errorf("unknown -explore mode %q (want fixed or coverage)", *explore)
+	}
 	var mc *metrics.Collector
 	if *metricsOut != "" {
 		mc = metrics.New()
 	}
 
 	fmt.Printf("building tables (noise=%s)...\n\n", *noise)
-	t, err := eval.BuildTablesParallel(eval.Config{Noise: lvl, Metrics: mc}, *workers)
+	t, err := eval.BuildTablesParallel(eval.Config{
+		Noise: lvl, Metrics: mc, Explore: mode, Budget: *budget,
+	}, *workers)
 	if err != nil {
 		return err
 	}
+	t.Stable = *stable
 	if err := emitMetrics(mc, *metricsOut); err != nil {
 		return err
 	}
@@ -79,7 +94,9 @@ func run(args []string) error {
 		fmt.Print(report.Table(t.Table4()))
 		fmt.Println()
 	}
-	fmt.Printf("total evaluation time: %s\n", t.Elapsed.Round(1e8))
+	if !*stable {
+		fmt.Printf("total evaluation time: %s\n", t.Elapsed.Round(1e8))
+	}
 	return nil
 }
 

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	owl -workload libsafe [-recipe attack] [-noise light|full] [-workers 4] [-v]
+//	owl -workload mysql -explore coverage -budget 32 [-seed 7]
 //	owl -file prog.oir [-inputs 1,2,3] [-v]
 //	owl -workload ssdb -metrics - [-workers 0]
 //	owl -list
@@ -43,6 +44,9 @@ func run(args []string) error {
 		inputsFlag = fs.String("inputs", "", "comma-separated input words for -file")
 		noise      = fs.String("noise", "light", "workload noise level: light or full")
 		detectRuns = fs.Int("runs", 8, "seeded detection executions")
+		explore    = fs.String("explore", "fixed", "detect-stage schedule exploration: fixed or coverage")
+		budget     = fs.Int("budget", 0, "run budget for -explore=coverage (0 = same as -runs)")
+		seed       = fs.Uint64("seed", 0, "base seed for -explore=coverage")
 		workers    = fs.Int("workers", 1, "pipeline worker pool size (0 = NumCPU, 1 = sequential)")
 		metricsOut = fs.String("metrics", "", `write per-stage metrics JSON to this file ("-" = stdout)`)
 		list       = fs.Bool("list", false, "list built-in workloads and exit")
@@ -74,8 +78,13 @@ func run(args []string) error {
 	if *metricsOut != "" {
 		mc = metrics.New()
 	}
+	mode := owl.ExploreMode(*explore)
+	if mode != owl.ExploreFixed && mode != owl.ExploreCoverage {
+		return fmt.Errorf("unknown -explore mode %q (want fixed or coverage)", *explore)
+	}
 	res, err := owl.Run(prog, owl.Options{
 		DetectRuns: *detectRuns, Workers: nWorkers, Metrics: mc,
+		Explore: mode, Budget: *budget, Seed: *seed,
 	})
 	if err != nil {
 		return err

@@ -34,6 +34,11 @@ type Config struct {
 	KernelDecisions int
 	// DisableVulnVerify skips the slowest stage (useful in quick tests).
 	DisableVulnVerify bool
+	// Explore selects the detect-stage exploration mode for application
+	// workloads (default owl.ExploreFixed); Budget is the coverage-mode
+	// run budget (0 = DetectRuns). See owl.Options.
+	Explore owl.ExploreMode
+	Budget  int
 	// PipelineWorkers bounds the owl pipeline's inner worker pool per
 	// workload (seeded detections and the verification loops). Default 1:
 	// BuildTablesParallel already fans out across workloads, so nesting
@@ -140,6 +145,8 @@ func evalApplication(w *workloads.Workload, cfg Config) (*ProgramEval, error) {
 			Module: w.Module, Entry: w.Entry, Inputs: rec.Inputs, MaxSteps: w.MaxSteps,
 		}, owl.Options{
 			DetectRuns:        cfg.DetectRuns,
+			Explore:           cfg.Explore,
+			Budget:            cfg.Budget,
 			DisableVulnVerify: cfg.DisableVulnVerify,
 			Workers:           cfg.PipelineWorkers,
 			Metrics:           cfg.Metrics,

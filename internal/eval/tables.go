@@ -18,6 +18,10 @@ type Tables struct {
 	Study    *study.Result
 	Exploits map[string][]*attack.Result
 	Elapsed  time.Duration
+	// Stable elides the timing fields from the rendered tables (Table 3's
+	// A.C. column), leaving only run-to-run deterministic output — the
+	// mode behind `owl-tables -stable` and the `make golden` gate.
+	Stable bool
 }
 
 // BuildTables evaluates every workload and runs the exploit campaigns.
@@ -120,13 +124,17 @@ func (t *Tables) Table3() [][]string {
 		if pe.W.Kernel {
 			rve = "N/A" // the paper leaves kernel dynamic verification to future work
 		}
+		ac := pe.AnalysisTime.Round(time.Millisecond).String()
+		if t.Stable {
+			ac = "-" // timings are not deterministic; elided for golden diffs
+		}
 		rows = append(rows, []string{
 			pe.W.RealName,
 			fmt.Sprintf("%d", pe.RawReports),
 			fmt.Sprintf("%d", pe.AdhocSyncs),
 			rve,
 			fmt.Sprintf("%d", pe.Remaining),
-			pe.AnalysisTime.Round(time.Millisecond).String(),
+			ac,
 		})
 		totRR += pe.RawReports
 		totAS += pe.AdhocSyncs

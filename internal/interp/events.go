@@ -133,6 +133,20 @@ type StackPolicy interface {
 	NeedsStack(k EventKind) bool
 }
 
+// SwitchObserver is notified at every context switch the scheduler
+// performs: fromInstr is the last instruction the outgoing thread
+// executed, toInstr the instruction the incoming thread is about to
+// execute. Unlike Observer it fires at instruction granularity (not just
+// at event-emitting instructions) and costs nothing when no switch
+// observer is attached, so it is the feed for lightweight schedule
+// instrumentation such as the interleaving-coverage map behind
+// coverage-guided exploration. Switch observers attach via
+// Config.SwitchObservers and run synchronously inside Step, before the
+// incoming instruction executes.
+type SwitchObserver interface {
+	OnSwitch(m *Machine, from, to ThreadID, fromInstr, toInstr *ir.Instr)
+}
+
 // ObserverFunc adapts a function to Observer.
 type ObserverFunc func(m *Machine, e Event)
 

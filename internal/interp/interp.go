@@ -55,6 +55,10 @@ type Config struct {
 	// MaxSteps bounds execution (default 1_000_000).
 	MaxSteps  int
 	Observers []Observer
+	// SwitchObservers are notified at every context switch (see
+	// SwitchObserver); kept separate from Observers so attaching one does
+	// not put a per-event callback on the hot path.
+	SwitchObservers []SwitchObserver
 	// Breakpoint, when set, is consulted before each instruction.
 	Breakpoint BreakpointFunc
 	// HaltOnFault stops the whole machine at the first fault (default:
@@ -144,6 +148,12 @@ type Machine struct {
 	rngState uint64 // deterministic per-machine PRNG for rand intrinsic
 	hasObs   bool   // skip event construction entirely when nobody listens
 
+	// hasSwitch gates the context-switch bookkeeping below so the hot
+	// path pays nothing when no SwitchObserver is attached.
+	hasSwitch bool
+	prevTID   ThreadID
+	prevInstr *ir.Instr
+
 	// needStack[k] records whether any observer declared (via the
 	// StackPolicy interface) that it needs call stacks for event kind k;
 	// emit only captures a StackRef for kinds somebody wants.
@@ -196,6 +206,8 @@ func New(cfg Config) (*Machine, error) {
 		interns:       make(map[string]int64),
 		mutexOwner:    make(map[int64]ThreadID),
 		hasObs:        len(cfg.Observers) > 0,
+		hasSwitch:     len(cfg.SwitchObservers) > 0,
+		prevTID:       -1,
 		uid:           1000, // unprivileged by default; setuid(0) is the attack
 		rngState:      0x9e3779b97f4a7c15,
 		stackMemoStep: -1,
@@ -539,6 +551,14 @@ func (m *Machine) Step() bool {
 			m.trace = m.trace[:len(m.trace)-1]
 			return true
 		}
+	}
+	if m.hasSwitch {
+		if m.prevTID >= 0 && m.prevTID != t.ID {
+			for _, so := range m.cfg.SwitchObservers {
+				so.OnSwitch(m, m.prevTID, t.ID, m.prevInstr, in)
+			}
+		}
+		m.prevTID, m.prevInstr = t.ID, in
 	}
 	m.exec(t, in)
 	m.step++

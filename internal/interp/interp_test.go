@@ -825,3 +825,83 @@ entry:
 		t.Errorf("LastScheduled = %v, %v", last, ok)
 	}
 }
+
+// switchRecorder records context-switch notifications.
+type switchRecorder struct {
+	switches [][2]ThreadID
+	nilInstr bool
+}
+
+func (r *switchRecorder) OnSwitch(m *Machine, from, to ThreadID, fromInstr, toInstr *ir.Instr) {
+	r.switches = append(r.switches, [2]ThreadID{from, to})
+	if fromInstr == nil || toInstr == nil {
+		r.nilInstr = true
+	}
+}
+
+func TestSwitchObserverSeesContextSwitches(t *testing.T) {
+	src := `
+global @counter = 0
+func @worker(%n) {
+entry:
+  %v = load @counter
+  %v2 = add %v, %n
+  store %v2, @counter
+  ret %n
+}
+func @main() {
+entry:
+  %t1 = call @spawn(@worker, 10)
+  %t2 = call @spawn(@worker, 20)
+  %r1 = call @join(%t1)
+  %r2 = call @join(%t2)
+  ret 0
+}
+`
+	rec := &switchRecorder{}
+	mod, err := ir.Parse("test.oir", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Config{Module: mod, Sched: &rr{last: -1},
+		SwitchObservers: []SwitchObserver{rec}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if len(rec.switches) == 0 {
+		t.Fatal("round-robin over three threads produced no context switches")
+	}
+	if rec.nilInstr {
+		t.Error("switch notification carried a nil instruction")
+	}
+	for i, sw := range rec.switches {
+		if sw[0] == sw[1] {
+			t.Errorf("switch %d: from == to == %d", i, sw[0])
+		}
+	}
+	// Cross-check against the recorded schedule: the notifications must
+	// be exactly the thread-boundary transitions of the executed trace.
+	want := 0
+	for i := 1; i < len(res.Schedule); i++ {
+		if res.Schedule[i] != res.Schedule[i-1] {
+			want++
+		}
+	}
+	if len(rec.switches) != want {
+		t.Errorf("got %d switch notifications, schedule has %d boundaries", len(rec.switches), want)
+	}
+}
+
+func TestNoSwitchObserverNoTracking(t *testing.T) {
+	src := `
+func @main() {
+entry:
+  ret 0
+}
+`
+	_, r := run(t, src, Config{})
+	if r.ExitCode != 0 {
+		t.Errorf("exit = %d", r.ExitCode)
+	}
+}

@@ -107,6 +107,17 @@ func (c *Collector) Count(name string, n int64) {
 	c.mu.Unlock()
 }
 
+// Flag sets the named gauge to 1 or 0 — the idiom for boolean run facts
+// (e.g. sched.early_stop) that should survive into the deterministic
+// snapshot alongside the numeric gauges.
+func (c *Collector) Flag(name string, v bool) {
+	if v {
+		c.Gauge(name, 1)
+	} else {
+		c.Gauge(name, 0)
+	}
+}
+
 // Gauge sets the named gauge to v (last write wins).
 func (c *Collector) Gauge(name string, v float64) {
 	if c == nil {

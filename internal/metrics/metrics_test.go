@@ -44,6 +44,22 @@ func TestCountersAndGauges(t *testing.T) {
 	}
 }
 
+func TestFlagIsABinaryGauge(t *testing.T) {
+	c := New()
+	c.Flag("sched.early_stop", true)
+	rep := c.Snapshot()
+	if len(rep.Gauges) != 1 || rep.Gauges[0].Value != 1 {
+		t.Errorf("gauges = %+v, want early_stop=1", rep.Gauges)
+	}
+	c.Flag("sched.early_stop", false) // last write wins, like Gauge
+	rep = c.Snapshot()
+	if rep.Gauges[0].Value != 0 {
+		t.Errorf("gauges = %+v, want early_stop=0", rep.Gauges)
+	}
+	var nilC *Collector
+	nilC.Flag("x", true) // nil-safe like the rest of the collector
+}
+
 func TestUtilizationFromBusyTime(t *testing.T) {
 	c := New()
 	stop := c.Stage("pool")

@@ -41,12 +41,40 @@ type Program struct {
 	MaxSteps int
 }
 
+// ExploreMode selects how the detect stage spends its schedule budget.
+type ExploreMode string
+
+// Explore modes. Fixed replays DetectRuns fixed random seeds — the
+// original blind loop. Coverage runs the adaptive portfolio search
+// (seeded random + PCT + preemption-bounded DFS) steered by the
+// interleaving-coverage map; see internal/sched and docs/EXPLORATION.md.
+const (
+	ExploreFixed    ExploreMode = "fixed"
+	ExploreCoverage ExploreMode = "coverage"
+)
+
 // Options tunes the pipeline. The Disable* switches exist for the
 // ablation benchmarks.
 type Options struct {
 	// DetectRuns is the number of seeded detection executions whose
 	// deduplicated reports form the raw report set (default 8).
 	DetectRuns int
+
+	// Explore selects the detect-stage exploration mode (default
+	// ExploreFixed). With ExploreCoverage the detect and atomicity stages
+	// run the coverage-guided engine instead of the fixed-seed loop; the
+	// result is still deterministic for a fixed (Seed, Budget, Workers).
+	Explore ExploreMode
+
+	// Budget is the total run budget of coverage-guided exploration per
+	// detect stage (default: DetectRuns). Ignored in fixed mode. The
+	// engine may spend less when the search saturates early.
+	Budget int
+
+	// Seed is the base seed coverage-guided exploration derives every
+	// strategy's per-run seeds from (default 0, which makes the engine's
+	// random arm replay the fixed-mode seed sequence 1,2,3,...).
+	Seed uint64
 
 	// DisableAdhoc skips step 2; DisableRaceVerify skips step 3;
 	// DisableVulnVerify skips step 5.
@@ -160,14 +188,30 @@ func Run(p Program, opts Options) (*Result, error) {
 	mc.Gauge("owl.workers", float64(workers))
 	defer mc.Stage("owl.total")()
 
+	budget := opts.Budget
+	if budget <= 0 {
+		budget = detectRuns
+	}
+
 	res := &Result{FindingsByReport: make(map[string][]*vuln.Finding)}
 
-	// Step 1: detection runs over seeded schedules; dedupe across runs.
+	// runDetect is one detect stage: the fixed-seed loop or the
+	// coverage-guided engine, both merging reports in run order.
+	runDetect := func(benign *race.Annotations) []*race.Report {
+		if opts.Explore == ExploreCoverage {
+			reports, runs := detectCoverage(p, budget, workers, benign, opts.Seed, mc)
+			mc.Count("owl.detect_runs", int64(runs))
+			return reports
+		}
+		mc.Count("owl.detect_runs", int64(detectRuns))
+		return detect(p, detectRuns, workers, benign, mc)
+	}
+
+	// Step 1: detection runs over explored schedules; dedupe across runs.
 	stop := mc.Stage("owl.detect")
-	res.Raw = detect(p, detectRuns, workers, nil, mc)
+	res.Raw = runDetect(nil)
 	stop()
 	res.Stats.RawReports = len(res.Raw)
-	mc.Count("owl.detect_runs", int64(detectRuns))
 	mc.Count("owl.raw_reports", int64(res.Stats.RawReports))
 
 	// Step 2: mine ad-hoc synchronizations, annotate, re-run.
@@ -178,8 +222,7 @@ func Run(p Program, opts Options) (*Result, error) {
 		res.Stats.AdhocSyncs = adhoc.UniqueVars(res.Syncs)
 		if len(res.Syncs) > 0 {
 			ann := adhoc.Annotate(res.Syncs, nil)
-			working = detect(p, detectRuns, workers, ann, mc)
-			mc.Count("owl.detect_runs", int64(detectRuns))
+			working = runDetect(ann)
 		}
 		stop()
 	}
@@ -252,7 +295,11 @@ func Run(p Program, opts Options) (*Result, error) {
 	// Algorithm 1 (paper §8.3 integration).
 	if opts.EnableAtomicity {
 		stop = mc.Stage("owl.atomicity")
-		res.AtomicityReports = detectAtomicity(p, detectRuns, workers, mc)
+		if opts.Explore == ExploreCoverage {
+			res.AtomicityReports = detectAtomicityCoverage(p, budget, workers, opts.Seed, mc)
+		} else {
+			res.AtomicityReports = detectAtomicity(p, detectRuns, workers, mc)
+		}
 		for _, ar := range res.AtomicityReports {
 			in, stack, ok := atomicity.ReadSideOf(ar)
 			if !ok {
@@ -384,6 +431,120 @@ func detect(p Program, runs, workers int, benign *race.Annotations, mc *metrics.
 		}
 	}
 	return order
+}
+
+// detectCoverage runs the race detector under the coverage-guided
+// exploration engine: a portfolio of schedule strategies spends the run
+// budget in rounds, scored by new interleaving coverage and new deduped
+// reports, with early stop on saturation. Rounds fan out over the worker
+// pool exactly like the fixed-seed loop; reports merge by ID in the
+// engine's job order (strategy/seed order within each round), so the
+// result is byte-identical for any worker count. It returns the merged
+// reports and the number of runs actually spent.
+func detectCoverage(p Program, budget, workers int, benign *race.Annotations, seed uint64, mc *metrics.Collector) ([]*race.Report, int) {
+	eng := sched.NewEngine(sched.EngineConfig{Budget: budget, Seed: seed, PCTSteps: p.MaxSteps})
+	merged := map[string]*race.Report{}
+	var order []*race.Report
+	res, _ := eng.Explore(func(jobs []*sched.Job) error {
+		perJob := make([][]*race.Report, len(jobs))
+		metrics.ForEach(mc, "owl.detect", len(jobs), workers, func(i int) {
+			j := jobs[i]
+			d := race.NewDetector()
+			d.Benign = benign
+			m, err := interp.New(interp.Config{
+				Module: p.Module, Entry: p.Entry, Args: p.Args, Inputs: p.Inputs,
+				MaxSteps: p.MaxSteps, Sched: j.Sched,
+				Observers:       []interp.Observer{d},
+				SwitchObservers: []interp.SwitchObserver{j.Cov},
+			})
+			if err != nil {
+				return
+			}
+			m.Run()
+			d.FlushMetrics(mc)
+			perJob[i] = d.Reports()
+		})
+		for i, reports := range perJob {
+			ids := make([]string, len(reports))
+			for k, r := range reports {
+				ids[k] = r.ID()
+			}
+			jobs[i].ReportIDs = ids
+			for _, r := range reports {
+				if existing, ok := merged[r.ID()]; ok {
+					existing.Count += r.Count
+					continue
+				}
+				merged[r.ID()] = r
+				order = append(order, r)
+			}
+		}
+		return nil
+	})
+	flushEngineMetrics(res, mc)
+	return order, res.Runs
+}
+
+// detectAtomicityCoverage is detectCoverage for the CTrigger-style
+// atomicity detector.
+func detectAtomicityCoverage(p Program, budget, workers int, seed uint64, mc *metrics.Collector) []*atomicity.Report {
+	eng := sched.NewEngine(sched.EngineConfig{Budget: budget, Seed: seed, PCTSteps: p.MaxSteps})
+	merged := map[string]*atomicity.Report{}
+	var order []*atomicity.Report
+	res, _ := eng.Explore(func(jobs []*sched.Job) error {
+		perJob := make([][]*atomicity.Report, len(jobs))
+		metrics.ForEach(mc, "owl.atomicity", len(jobs), workers, func(i int) {
+			j := jobs[i]
+			d := atomicity.NewDetector()
+			m, err := interp.New(interp.Config{
+				Module: p.Module, Entry: p.Entry, Args: p.Args, Inputs: p.Inputs,
+				MaxSteps: p.MaxSteps, Sched: j.Sched,
+				Observers:       []interp.Observer{d},
+				SwitchObservers: []interp.SwitchObserver{j.Cov},
+			})
+			if err != nil {
+				return
+			}
+			m.Run()
+			perJob[i] = d.Reports()
+		})
+		for i, reports := range perJob {
+			ids := make([]string, len(reports))
+			for k, r := range reports {
+				ids[k] = r.ID()
+			}
+			jobs[i].ReportIDs = ids
+			for _, r := range reports {
+				if existing, ok := merged[r.ID()]; ok {
+					existing.Count += r.Count
+					continue
+				}
+				merged[r.ID()] = r
+				order = append(order, r)
+			}
+		}
+		return nil
+	})
+	flushEngineMetrics(res, mc)
+	return order
+}
+
+// flushEngineMetrics threads one exploration's accounting into the
+// collector: the coverage-map size, round/early-stop facts, and
+// per-strategy run/hit counters (hits = deduped reports the strategy
+// observed first). Counters accumulate across the initial detect, the
+// ad-hoc re-run, and the atomicity stage; the early-stop flag is a gauge,
+// so the last exploration of the run wins.
+func flushEngineMetrics(res *sched.EngineResult, mc *metrics.Collector) {
+	mc.Count("sched.rounds", int64(res.Rounds))
+	mc.Count("sched.coverage_pairs", int64(res.CoveragePairs))
+	mc.Flag("sched.early_stop", res.EarlyStop)
+	for _, s := range sched.Strategies() {
+		st := res.Strategies[s]
+		mc.Count("sched.runs."+s.String(), int64(st.Runs))
+		mc.Count("sched.hits."+s.String(), int64(st.NewReports))
+		mc.Count("sched.cov."+s.String(), int64(st.NewCoverage))
+	}
 }
 
 // factory builds verification machines for the program.

@@ -1,0 +1,77 @@
+// Interleaving-coverage tracking for coverage-guided schedule
+// exploration. The coverage unit is a context-switch point: the ordered
+// pair (last instruction the outgoing thread executed, first instruction
+// the incoming thread executes) observed at a scheduler-visible thread
+// switch. Two executions that switch between the same instruction pairs
+// exercise the same interleaving structure, so a run that adds no new
+// pairs to the map has (very likely) re-observed schedules the detector
+// already saw — the signal the exploration Engine uses to reallocate its
+// run budget and to stop early on saturation.
+package sched
+
+import (
+	"github.com/conanalysis/owl/internal/interp"
+	"github.com/conanalysis/owl/internal/ir"
+)
+
+// covKey is one coverage map entry: an (instruction, instruction) pair at
+// a context-switch point. Keys are instruction identities, so the map is
+// meaningful only within one frozen module (which is how the Engine uses
+// it: one Coverage per exploration).
+type covKey struct {
+	from, to *ir.Instr
+}
+
+// Coverage is the global interleaving-coverage map of one exploration:
+// the set of (instruction-pair, context-switch point) keys observed
+// across every run so far. It is not safe for concurrent use; the Engine
+// merges per-run maps into it sequentially, in job order, which is what
+// keeps coverage scores — and therefore budget allocation — independent
+// of the worker count.
+type Coverage struct {
+	pairs map[covKey]struct{}
+}
+
+// NewCoverage returns an empty coverage map.
+func NewCoverage() *Coverage {
+	return &Coverage{pairs: make(map[covKey]struct{})}
+}
+
+// Pairs returns the number of distinct context-switch pairs observed.
+func (c *Coverage) Pairs() int { return len(c.pairs) }
+
+// NewRun returns an empty per-run recorder to attach to one machine via
+// interp.Config.SwitchObservers.
+func (c *Coverage) NewRun() *RunCoverage {
+	return &RunCoverage{pairs: make(map[covKey]struct{})}
+}
+
+// Merge folds one run's pairs into the global map and returns how many of
+// them were new.
+func (c *Coverage) Merge(rc *RunCoverage) int {
+	fresh := 0
+	for k := range rc.pairs {
+		if _, ok := c.pairs[k]; ok {
+			continue
+		}
+		c.pairs[k] = struct{}{}
+		fresh++
+	}
+	return fresh
+}
+
+// RunCoverage records the context-switch pairs of a single execution. It
+// implements interp.SwitchObserver; each machine run gets its own
+// recorder, so workers share nothing and the Engine can merge results
+// deterministically afterwards.
+type RunCoverage struct {
+	pairs map[covKey]struct{}
+}
+
+// OnSwitch implements interp.SwitchObserver.
+func (rc *RunCoverage) OnSwitch(m *interp.Machine, from, to interp.ThreadID, fromInstr, toInstr *ir.Instr) {
+	rc.pairs[covKey{from: fromInstr, to: toInstr}] = struct{}{}
+}
+
+// Len returns the number of distinct pairs this run observed.
+func (rc *RunCoverage) Len() int { return len(rc.pairs) }

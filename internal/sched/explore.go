@@ -7,30 +7,59 @@ import (
 )
 
 // Decision is one scheduling decision point: how many threads were
-// runnable and which index was chosen.
+// runnable and which index was chosen. SameIdx is the runnable index of
+// the thread that executed the previous step (-1 when it was blocked or
+// done), so a consumer can tell which choices would have been
+// preemptions: any Chosen != SameIdx with SameIdx >= 0 switched away from
+// a thread that could have kept running.
 type Decision struct {
 	Choices int
 	Chosen  int
+	SameIdx int
 }
 
 // DecisionSched drives the machine from an explicit decision vector: at
 // each point where more than one thread is runnable it consumes one
-// decision (defaulting to index 0 past the end of the vector) and records
-// what it did. It is the building block of systematic exploration.
+// decision and records what it did. Past the end of the vector it takes
+// the non-preemptive default: keep running the previous thread while it
+// stays runnable, else fall back to index 0. The non-preemptive tail is
+// what makes preemption bounding meaningful — a schedule's executed
+// Preemptions equals the preemptions of its decided prefix, because the
+// default completion never adds any. It is the building block of
+// systematic exploration.
 type DecisionSched struct {
 	Decisions []int
 	pos       int
 	Trace     []Decision
+	// Preemptions counts decisions that switched away from a thread that
+	// was still runnable (the bounding quantity of CHESS-style iterative
+	// preemption bounding).
+	Preemptions int
+
+	lastTID interp.ThreadID
+	hasLast bool
 }
 
 // Next implements interp.Scheduler.
 func (s *DecisionSched) Next(runnable []interp.ThreadID, step int) interp.ThreadID {
 	if len(runnable) == 1 {
+		s.lastTID, s.hasLast = runnable[0], true
 		return runnable[0]
+	}
+	sameIdx := -1
+	if s.hasLast {
+		for i, id := range runnable {
+			if id == s.lastTID {
+				sameIdx = i
+				break
+			}
+		}
 	}
 	choice := 0
 	if s.pos < len(s.Decisions) {
 		choice = s.Decisions[s.pos]
+	} else if sameIdx >= 0 {
+		choice = sameIdx // non-preemptive default
 	}
 	s.pos++
 	if choice >= len(runnable) {
@@ -42,7 +71,11 @@ func (s *DecisionSched) Next(runnable []interp.ThreadID, step int) interp.Thread
 		// runnable[choice] below panics with index-out-of-range.
 		choice = 0
 	}
-	s.Trace = append(s.Trace, Decision{Choices: len(runnable), Chosen: choice})
+	if sameIdx >= 0 && choice != sameIdx {
+		s.Preemptions++
+	}
+	s.Trace = append(s.Trace, Decision{Choices: len(runnable), Chosen: choice, SameIdx: sameIdx})
+	s.lastTID, s.hasLast = runnable[choice], true
 	return runnable[choice]
 }
 
@@ -93,17 +126,22 @@ func (e *Explorer) Explore(mkRun func(s interp.Scheduler) error) (ExploreResult,
 		res.Runs++
 
 		// Schedule the unexplored siblings of every decision point at or
-		// beyond this vector's frontier, within the depth bound.
+		// beyond this vector's frontier, within the depth bound. Positions
+		// between the vector and the branch point pin the defaults this run
+		// actually took, so the child replays the same prefix.
 		limit := len(s.Trace)
 		if limit > maxDec {
 			limit = maxDec
 		}
 		for p := limit - 1; p >= len(d); p-- {
-			for c := s.Trace[p].Choices - 1; c >= 1; c-- {
+			for c := s.Trace[p].Choices - 1; c >= 0; c-- {
+				if c == s.Trace[p].Chosen {
+					continue
+				}
 				next := make([]int, p+1)
 				copy(next, d)
 				for q := len(d); q < p; q++ {
-					next[q] = 0
+					next[q] = s.Trace[q].Chosen
 				}
 				next[p] = c
 				stack = append(stack, next)
@@ -112,4 +150,129 @@ func (e *Explorer) Explore(mkRun func(s interp.Scheduler) error) (ExploreResult,
 	}
 	res.Exhausted = true
 	return res, nil
+}
+
+// ExploreIPB explores the same bounded tree as Explore, but in iterative
+// preemption-bounding order (CHESS): every reachable 0-preemption
+// schedule runs before any 1-preemption schedule, which runs before any
+// 2-preemption schedule, and so on. Most concurrency bugs trigger with
+// very few preemptions, so under a tight run budget this ordering spends
+// it where the payoff density is highest. The preemption count of a
+// schedule is the number of decided points that switched away from a
+// still-runnable thread; decision points past the decided prefix take the
+// non-preemptive default, so the executed preemption count equals the
+// prefix count and the run order genuinely ascends by preemptions.
+// Exploration order is deterministic.
+func (e *Explorer) ExploreIPB(mkRun func(s interp.Scheduler) error) (ExploreResult, error) {
+	maxRuns := e.MaxRuns
+	if maxRuns <= 0 {
+		maxRuns = 256
+	}
+	f := newIPBFrontier(e.MaxDecisions)
+	res := ExploreResult{}
+	for f.size > 0 {
+		if res.Runs >= maxRuns {
+			return res, nil
+		}
+		node, _ := f.pop()
+		s := &DecisionSched{Decisions: node.vec}
+		if err := mkRun(s); err != nil {
+			return res, fmt.Errorf("exploration run %d: %w", res.Runs, err)
+		}
+		res.Runs++
+		f.expand(node, s.Trace)
+	}
+	res.Exhausted = true
+	return res, nil
+}
+
+// ipbNode is one pending schedule of a preemption-ordered exploration:
+// the decision prefix and the number of preemptions that prefix performs.
+type ipbNode struct {
+	vec []int
+	pre int
+}
+
+// ipbFrontier is a deterministic bucket priority queue over pending
+// decision vectors, keyed by preemption count. Within a bucket, vectors
+// pop in LIFO order, preserving the depth-first character of Explore. It
+// is shared between ExploreIPB and the Engine's DFS strategy (which pops
+// nodes round by round instead of in one loop).
+type ipbFrontier struct {
+	maxDec  int
+	buckets map[int][]ipbNode
+	minPre  int
+	size    int
+}
+
+func newIPBFrontier(maxDec int) *ipbFrontier {
+	if maxDec <= 0 {
+		maxDec = 12
+	}
+	f := &ipbFrontier{maxDec: maxDec, buckets: map[int][]ipbNode{}}
+	f.push(ipbNode{})
+	return f
+}
+
+func (f *ipbFrontier) push(n ipbNode) {
+	if f.size == 0 || n.pre < f.minPre {
+		f.minPre = n.pre
+	}
+	f.buckets[n.pre] = append(f.buckets[n.pre], n)
+	f.size++
+}
+
+// pop removes and returns a pending node with the lowest preemption
+// count.
+func (f *ipbFrontier) pop() (ipbNode, bool) {
+	if f.size == 0 {
+		return ipbNode{}, false
+	}
+	for len(f.buckets[f.minPre]) == 0 {
+		f.minPre++
+	}
+	b := f.buckets[f.minPre]
+	n := b[len(b)-1]
+	f.buckets[f.minPre] = b[:len(b)-1]
+	f.size--
+	return n, true
+}
+
+// expand generates the unexplored siblings of every decision point at or
+// beyond the executed node's frontier (exactly as Explore does), tagging
+// each child with the preemption count of its decided prefix.
+func (f *ipbFrontier) expand(node ipbNode, trace []Decision) {
+	limit := len(trace)
+	if limit > f.maxDec {
+		limit = f.maxDec
+	}
+	if limit <= len(node.vec) {
+		return
+	}
+	// preAt[p] = preemptions performed by the first p executed decisions.
+	preAt := make([]int, limit+1)
+	for p := 0; p < limit; p++ {
+		preAt[p+1] = preAt[p]
+		if d := trace[p]; d.SameIdx >= 0 && d.Chosen != d.SameIdx {
+			preAt[p+1]++
+		}
+	}
+	for p := limit - 1; p >= len(node.vec); p-- {
+		for c := trace[p].Choices - 1; c >= 0; c-- {
+			if c == trace[p].Chosen {
+				continue
+			}
+			next := make([]int, p+1)
+			copy(next, node.vec)
+			for q := len(node.vec); q < p; q++ {
+				next[q] = trace[q].Chosen
+			}
+			next[p] = c
+			pre := preAt[p]
+			if trace[p].SameIdx >= 0 && c != trace[p].SameIdx {
+				pre++
+			}
+			f.push(ipbNode{vec: next, pre: pre})
+		}
+	}
 }
