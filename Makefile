@@ -1,7 +1,8 @@
 # Tier-1 gate and benchmark targets for the OWL reproduction.
 #
-#   make ci              build + vet + test -race (the tier-1 gate)
+#   make ci              build + vet + test -race + faults (the tier-1 gate)
 #   make test            plain test run
+#   make faults          fault-injection suite under -race + canned-plan CLI runs
 #   make fmt-check       fail if any file needs gofmt (CI lint job)
 #   make golden          diff `owl-tables -stable` against the committed fixture
 #   make golden-update   refresh the fixture after an intentional output change
@@ -14,10 +15,10 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: ci build vet test race fmt-check golden golden-update \
+.PHONY: ci build vet test race faults fmt-check golden golden-update \
 	bench bench-smoke bench-pipeline bench-detector bench-explore clean
 
-ci: build vet race
+ci: build vet race faults
 
 build:
 	$(GO) build ./...
@@ -30,6 +31,29 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Fault-injection gate (docs/ROBUSTNESS.md): the supervisor/fault suites
+# under -race, then the three canned plans in testdata/faults/ driven
+# through the owl CLI — a degraded pipeline must exit 0 with partial
+# results, a -fail-fast one must error naming the faulted stage, and the
+# transient plan must be fully absorbed by one retry.
+faults:
+	$(GO) test -race -count=1 ./internal/faultinject/ ./internal/supervise/ \
+		-run .
+	$(GO) test -race -count=1 ./internal/owl/ \
+		-run 'Fault|Timeout|Retr|StepBudget|Canned'
+	$(GO) run ./cmd/owl -workload libsafe \
+		-faults testdata/faults/detect-panic-vulnverify-timeout.json \
+		-stage-timeout 5s -metrics /dev/null > /dev/null
+	@if $(GO) run ./cmd/owl -workload libsafe \
+		-faults testdata/faults/detect-panic-vulnverify-timeout.json \
+		-stage-timeout 5s -fail-fast > /dev/null 2>&1; then \
+		echo "fail-fast run unexpectedly succeeded"; exit 1; fi
+	$(GO) run ./cmd/owl -workload libsafe \
+		-faults testdata/faults/transient-retry.json -retries 1 > /dev/null
+	$(GO) run ./cmd/owl -workload libsafe \
+		-faults testdata/faults/max-steps-squeeze.json > /dev/null
+	@echo "fault-injection gate passed"
 
 fmt-check:
 	@out="$$($(GOFMT) -l .)"; if [ -n "$$out" ]; then \

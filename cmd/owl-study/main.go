@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	owl-study [-noise light|full] [-runs 100]
+//	owl-study [-noise light|full] [-runs 100] [-workers N] [-metrics out.json]
 package main
 
 import (
@@ -13,6 +13,7 @@ import (
 	"os"
 	"runtime"
 
+	"github.com/conanalysis/owl/internal/metrics"
 	"github.com/conanalysis/owl/internal/report"
 	"github.com/conanalysis/owl/internal/study"
 	"github.com/conanalysis/owl/internal/workloads"
@@ -28,9 +29,10 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("owl-study", flag.ContinueOnError)
 	var (
-		noise   = fs.String("noise", "light", "workload noise level: light or full")
-		maxRuns = fs.Int("runs", 100, "exploit campaign budget per attack")
-		workers = fs.Int("workers", 1, "study worker pool size (0 = NumCPU, 1 = sequential)")
+		noise      = fs.String("noise", "light", "workload noise level: light or full")
+		maxRuns    = fs.Int("runs", 100, "exploit campaign budget per attack")
+		workers    = fs.Int("workers", 1, "study worker pool size (0 = NumCPU, 1 = sequential)")
+		metricsOut = fs.String("metrics", "", `write per-stage metrics JSON to this file ("-" = stdout)`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -42,9 +44,32 @@ func run(args []string) error {
 	if *workers <= 0 {
 		*workers = runtime.NumCPU()
 	}
-	res, err := study.Run(study.Config{Noise: lvl, MaxRuns: *maxRuns, Workers: *workers})
+	var mc *metrics.Collector
+	if *metricsOut != "" {
+		mc = metrics.New()
+	}
+	res, err := study.Run(study.Config{Noise: lvl, MaxRuns: *maxRuns, Workers: *workers, Metrics: mc})
 	if err != nil {
 		return err
+	}
+	if mc != nil {
+		if *metricsOut == "-" {
+			if err := mc.WriteJSON(os.Stdout); err != nil {
+				return err
+			}
+		} else {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				return fmt.Errorf("metrics: %w", err)
+			}
+			if err := mc.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
 	}
 
 	rows := [][]string{{

@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"github.com/conanalysis/owl/internal/eval"
+	"github.com/conanalysis/owl/internal/faultinject"
 	"github.com/conanalysis/owl/internal/metrics"
 	"github.com/conanalysis/owl/internal/owl"
 	"github.com/conanalysis/owl/internal/report"
@@ -42,6 +43,9 @@ func run(args []string) error {
 		explore    = fs.String("explore", "fixed", "detect-stage schedule exploration: fixed or coverage")
 		budget     = fs.Int("budget", 0, "run budget for -explore=coverage (0 = detect runs)")
 		stable     = fs.Bool("stable", false, "deterministic output: elide timing fields (golden-fixture mode)")
+		stageTO    = fs.Duration("stage-timeout", 0, "per-stage deadline inside each workload's pipeline (0 = none)")
+		retries    = fs.Int("retries", 0, "extra attempts a faulted pipeline run gets before quarantine")
+		faultsPath = fs.String("faults", "", "deterministic fault-injection plan JSON (see docs/ROBUSTNESS.md)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,9 +63,19 @@ func run(args []string) error {
 		mc = metrics.New()
 	}
 
+	var plan *faultinject.Plan
+	if *faultsPath != "" {
+		var err error
+		plan, err = faultinject.Load(*faultsPath)
+		if err != nil {
+			return err
+		}
+	}
+
 	fmt.Printf("building tables (noise=%s)...\n\n", *noise)
 	t, err := eval.BuildTablesParallel(eval.Config{
 		Noise: lvl, Metrics: mc, Explore: mode, Budget: *budget,
+		StageTimeout: *stageTO, Retries: *retries, Faults: plan,
 	}, *workers)
 	if err != nil {
 		return err

@@ -10,6 +10,7 @@
 //	owl -workload mysql -explore coverage -budget 32 [-seed 7]
 //	owl -file prog.oir [-inputs 1,2,3] [-v]
 //	owl -workload ssdb -metrics - [-workers 0]
+//	owl -workload libsafe -faults plan.json [-stage-timeout 30s] [-retries 1] [-fail-fast]
 //	owl -list
 package main
 
@@ -21,6 +22,7 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/conanalysis/owl/internal/faultinject"
 	"github.com/conanalysis/owl/internal/ir"
 	"github.com/conanalysis/owl/internal/metrics"
 	"github.com/conanalysis/owl/internal/owl"
@@ -49,6 +51,11 @@ func run(args []string) error {
 		seed       = fs.Uint64("seed", 0, "base seed for -explore=coverage")
 		workers    = fs.Int("workers", 1, "pipeline worker pool size (0 = NumCPU, 1 = sequential)")
 		metricsOut = fs.String("metrics", "", `write per-stage metrics JSON to this file ("-" = stdout)`)
+		maxSteps   = fs.Int("max-steps", 0, "interpreter step budget per run (0 = program default)")
+		stageTO    = fs.Duration("stage-timeout", 0, "per-stage deadline; an overrunning stage degrades (0 = none)")
+		retries    = fs.Int("retries", 0, "extra attempts a faulted run gets before quarantine")
+		faultsPath = fs.String("faults", "", "deterministic fault-injection plan JSON (see docs/ROBUSTNESS.md)")
+		failFast   = fs.Bool("fail-fast", false, "error out on the first faulted stage instead of degrading")
 		list       = fs.Bool("list", false, "list built-in workloads and exit")
 		verbose    = fs.Bool("v", false, "print per-report details")
 	)
@@ -70,30 +77,51 @@ func run(args []string) error {
 		return err
 	}
 
+	if *maxSteps > 0 {
+		prog.MaxSteps = *maxSteps
+	}
+
 	nWorkers := *workers
 	if nWorkers <= 0 {
 		nWorkers = runtime.NumCPU()
 	}
-	var mc *metrics.Collector
-	if *metricsOut != "" {
-		mc = metrics.New()
-	}
+	// The collector always runs (it also backs the truncation warning
+	// below); the JSON snapshot is emitted only when -metrics is set.
+	mc := metrics.New()
 	mode := owl.ExploreMode(*explore)
 	if mode != owl.ExploreFixed && mode != owl.ExploreCoverage {
 		return fmt.Errorf("unknown -explore mode %q (want fixed or coverage)", *explore)
 	}
+	var plan *faultinject.Plan
+	if *faultsPath != "" {
+		plan, err = faultinject.Load(*faultsPath)
+		if err != nil {
+			return err
+		}
+	}
 	res, err := owl.Run(prog, owl.Options{
 		DetectRuns: *detectRuns, Workers: nWorkers, Metrics: mc,
 		Explore: mode, Budget: *budget, Seed: *seed,
+		StageTimeout: *stageTO, Retries: *retries,
+		Faults: plan, FailFast: *failFast,
 	})
 	if err != nil {
 		return err
 	}
-	if err := emitMetrics(mc, *metricsOut); err != nil {
-		return err
+	if *metricsOut != "" {
+		if err := emitMetrics(mc, *metricsOut); err != nil {
+			return err
+		}
+	}
+	warnTruncation(mc)
+	for _, d := range res.Degraded {
+		fmt.Fprintf(os.Stderr, "owl: warning: %s\n", d.String())
 	}
 
 	fmt.Print(report.Summary(name, res))
+	if rb := report.Robustness(res); rb != "" {
+		fmt.Print(rb)
+	}
 	if !*verbose {
 		return nil
 	}
@@ -121,6 +149,19 @@ func run(args []string) error {
 		fmt.Println(report.Outcome(o))
 	}
 	return nil
+}
+
+// warnTruncation surfaces silent step-budget truncation: any detection
+// run that hit MaxSteps bumps interp.max_steps_hit, and the operator
+// should know the raw report set may be incomplete.
+func warnTruncation(mc *metrics.Collector) {
+	for _, c := range mc.Snapshot().Counters {
+		if c.Name == "interp.max_steps_hit" && c.Value > 0 {
+			fmt.Fprintf(os.Stderr,
+				"owl: warning: %d run(s) hit the interpreter step budget and were truncated (raise -max-steps)\n",
+				c.Value)
+		}
+	}
 }
 
 // emitMetrics writes the collector snapshot to path ("-" = stdout); a nil

@@ -6,11 +6,13 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"github.com/conanalysis/owl/internal/adhoc"
 	"github.com/conanalysis/owl/internal/attack"
+	"github.com/conanalysis/owl/internal/faultinject"
 	"github.com/conanalysis/owl/internal/interp"
 	"github.com/conanalysis/owl/internal/ir"
 	"github.com/conanalysis/owl/internal/metrics"
@@ -47,6 +49,17 @@ type Config struct {
 	// Metrics, when non-nil, receives per-stage instrumentation from the
 	// evaluation, the pipelines it runs, and the study.
 	Metrics *metrics.Collector
+	// Ctx cancels the build cooperatively (default context.Background());
+	// BuildTablesParallel also derives its pool context from it so the
+	// first failed workload stops the others promptly.
+	Ctx context.Context
+	// StageTimeout / Retries / Faults ride down into every workload's
+	// owl pipeline (see owl.Options). The pipelines run fail-fast: a
+	// workload whose stage faults fails the build with an error naming
+	// the workload and stage, rather than silently degrading a table.
+	StageTimeout time.Duration
+	Retries      int
+	Faults       *faultinject.Plan
 }
 
 func (c Config) withDefaults() Config {
@@ -141,6 +154,9 @@ func evalApplication(w *workloads.Workload, cfg Config) (*ProgramEval, error) {
 	findingKeys := map[string]bool{}
 
 	for _, rec := range recipesToRun(w) {
+		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+			return nil, fmt.Errorf("eval %s/%s: %w", w.Name, rec.Name, cfg.Ctx.Err())
+		}
 		res, err := owl.Run(owl.Program{
 			Module: w.Module, Entry: w.Entry, Inputs: rec.Inputs, MaxSteps: w.MaxSteps,
 		}, owl.Options{
@@ -150,6 +166,13 @@ func evalApplication(w *workloads.Workload, cfg Config) (*ProgramEval, error) {
 			DisableVulnVerify: cfg.DisableVulnVerify,
 			Workers:           cfg.PipelineWorkers,
 			Metrics:           cfg.Metrics,
+			Ctx:               cfg.Ctx,
+			StageTimeout:      cfg.StageTimeout,
+			Retries:           cfg.Retries,
+			Faults:            cfg.Faults,
+			// Degrading a table row would silently skew the evaluation, so
+			// the tables pipeline opts out of graceful degradation.
+			FailFast: true,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("eval %s/%s: %w", w.Name, rec.Name, err)
@@ -234,6 +257,9 @@ func evalKernel(w *workloads.Workload, cfg Config) (*ProgramEval, error) {
 	findingKeys := map[string]bool{}
 
 	for _, rec := range recipesToRun(w) {
+		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+			return nil, fmt.Errorf("eval %s/%s: %w", w.Name, rec.Name, cfg.Ctx.Err())
+		}
 		base := interp.Config{Module: w.Module, Entry: w.Entry, Inputs: rec.Inputs, MaxSteps: w.MaxSteps}
 		det := &ski.Detector{MaxRuns: cfg.KernelRuns, MaxDecisions: cfg.KernelDecisions}
 		reports, _, err := det.Detect(base)

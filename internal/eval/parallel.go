@@ -1,13 +1,15 @@
 package eval
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
-	"sync"
 	"time"
 
 	"github.com/conanalysis/owl/internal/attack"
 	"github.com/conanalysis/owl/internal/study"
+	"github.com/conanalysis/owl/internal/supervise"
 	"github.com/conanalysis/owl/internal/workloads"
 )
 
@@ -21,10 +23,16 @@ var evalWorkloadFn = EvalWorkload
 // the pool instead of serialized after it. Everything a worker touches is
 // freshly constructed (each workload gets its own module and machines), so
 // the workers share nothing; results are collected in registry order to
-// keep output deterministic. On failure the pool drains — workers skip
-// jobs that have not started yet — and the error returned is the failed
-// workload earliest in registry order, so multi-failure runs report
-// deterministically regardless of worker scheduling.
+// keep output deterministic.
+//
+// The pool runs under a supervisor (internal/supervise): a panicking
+// workload evaluation is contained, and the first failure cancels the
+// pool's context so in-flight workloads stop at their next run boundary
+// and release their worker slots promptly — not just the jobs that had
+// yet to start. The error returned is the failed workload earliest in
+// registry order (naming the workload and the stage that failed inside
+// it), so multi-failure runs report deterministically regardless of
+// worker scheduling.
 func BuildTablesParallel(cfg Config, workers int) (*Tables, error) {
 	cfg = cfg.withDefaults()
 	// Clock the whole build (workload construction included) so Elapsed is
@@ -50,48 +58,17 @@ func BuildTablesParallel(cfg Config, workers int) (*Tables, error) {
 	if evalOne == nil {
 		evalOne = EvalWorkload
 	}
-	jobs := make(chan int)
-	done := make(chan struct{})
-	var failOnce sync.Once
-	fail := func() { failOnce.Do(func() { close(done) }) }
 
-	stopPool := cfg.Metrics.Stage("eval.workloads")
-	cfg.Metrics.SetWorkers("eval.workloads", workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				select {
-				case <-done:
-					// A sibling failed: drain the queue without starting
-					// more work.
-					continue
-				default:
-				}
-				busy := time.Now()
-				// Each worker builds its own workload instance: modules
-				// and machines are not safe for concurrent use, and this
-				// way they never need to be.
-				wl := workloads.Get(names[i], cfg.Noise)
-				pe, err := evalOne(wl, cfg)
-				if err != nil {
-					slots[i] = slot{err: fmt.Errorf("eval %s: %w", names[i], err)}
-					fail()
-					continue
-				}
-				ex, err := ExploitCampaign(wl, 100)
-				if err != nil {
-					slots[i] = slot{err: fmt.Errorf("exploit %s: %w", names[i], err)}
-					fail()
-					continue
-				}
-				slots[i] = slot{pe: pe, ex: ex}
-				cfg.Metrics.AddBusy("eval.workloads", time.Since(busy))
-			}
-		}()
-	}
+	// CancelOnFault makes the first failed workload cancel the pool's
+	// context; the other workloads observe it between interpreter runs
+	// (the owl pipeline is cancelable) and exit instead of finishing.
+	sup := supervise.New(supervise.Config{
+		Ctx:           cfg.Ctx,
+		Faults:        cfg.Faults,
+		Metrics:       cfg.Metrics,
+		MetricsPrefix: "eval",
+		CancelOnFault: true,
+	})
 
 	// The study reads nothing the workload evaluations produce, so it runs
 	// concurrently with the pool rather than after it.
@@ -107,19 +84,62 @@ func BuildTablesParallel(cfg Config, workers int) (*Tables, error) {
 		studyCh <- studyOut{st: st, err: err}
 	}()
 
-	for i := range names {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	stopPool()
+	st := sup.Stage("eval.workloads")
+	st.ForEach(0, len(names), workers, func(ctx context.Context, i int) error {
+		if err := st.Inject(i); err != nil {
+			return err
+		}
+		// Each worker builds its own workload instance: modules and
+		// machines are not safe for concurrent use, and this way they
+		// never need to be. The stage context rides down into the owl
+		// pipeline so a sibling's failure stops this workload too.
+		wcfg := cfg
+		wcfg.Ctx = ctx
+		wl := workloads.Get(names[i], cfg.Noise)
+		pe, err := evalOne(wl, wcfg)
+		if err != nil {
+			err = fmt.Errorf("workload %s: eval: %w", names[i], err)
+			slots[i] = slot{err: err}
+			return err
+		}
+		ex, err := ExploitCampaign(wl, 100)
+		if err != nil {
+			err = fmt.Errorf("workload %s: exploit campaign: %w", names[i], err)
+			slots[i] = slot{err: err}
+			return err
+		}
+		slots[i] = slot{pe: pe, ex: ex}
+		return nil
+	})
+	st.Close()
 	sr := <-studyCh
 
-	// Report the earliest failed workload in registry order.
+	// Report the earliest failed workload in registry order, skipping the
+	// workloads that merely observed the pool's cancellation (their error
+	// is the fallback when the caller's own context ended the build).
+	var cancelErr error
 	for _, s := range slots {
-		if s.err != nil {
-			return nil, s.err
+		if s.err == nil {
+			continue
 		}
+		if errors.Is(s.err, context.Canceled) || errors.Is(s.err, context.DeadlineExceeded) {
+			if cancelErr == nil {
+				cancelErr = s.err
+			}
+			continue
+		}
+		return nil, s.err
+	}
+	// A panicking evaluation never writes its slot; its quarantine record
+	// (earliest run index first) carries the recovered reason.
+	if fq := st.FirstQuarantine(); fq != nil {
+		return nil, fmt.Errorf("workload %s: %s", names[fq.Run], fq.Reason)
+	}
+	if sup.Err() != nil {
+		if cancelErr != nil {
+			return nil, cancelErr
+		}
+		return nil, fmt.Errorf("eval: build canceled: %w", sup.Err())
 	}
 	t := &Tables{Cfg: cfg, Exploits: make(map[string][]*attack.Result)}
 	for i, s := range slots {

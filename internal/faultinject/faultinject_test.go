@@ -1,0 +1,130 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestParseValidatesRules(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		ok   bool
+	}{
+		{"valid", `{"seed":1,"rules":[{"stage":"owl.detect","run":1,"kind":"panic"}]}`, true},
+		{"unknown kind", `{"rules":[{"stage":"s","run":0,"kind":"explode"}]}`, false},
+		{"delay without ms", `{"rules":[{"stage":"s","run":0,"kind":"delay"}]}`, false},
+		{"max-steps without budget", `{"rules":[{"stage":"s","run":0,"kind":"max-steps"}]}`, false},
+		{"bad json", `{`, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.src))
+			if tc.ok && err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("Parse accepted invalid plan")
+			}
+		})
+	}
+}
+
+func TestNilPlanInjectsNothing(t *testing.T) {
+	var p *Plan
+	if err := p.Point(context.Background(), "owl.detect", 0); err != nil {
+		t.Fatalf("nil plan Point: %v", err)
+	}
+	if got := p.StepBudget("owl.detect", 0, 42); got != 42 {
+		t.Fatalf("nil plan StepBudget = %d, want 42", got)
+	}
+}
+
+func TestPointPanicsTyped(t *testing.T) {
+	p := &Plan{Rules: []Rule{{Stage: "owl.detect", Run: 3, Kind: KindPanic, Msg: "boom"}}}
+	if err := p.Point(context.Background(), "owl.detect", 2); err != nil {
+		t.Fatalf("non-matching run fired: %v", err)
+	}
+	defer func() {
+		r := recover()
+		pv, ok := r.(*Panic)
+		if !ok {
+			t.Fatalf("panic value %T, want *Panic", r)
+		}
+		if pv.Stage != "owl.detect" || pv.Run != 3 || pv.Msg != "boom" {
+			t.Fatalf("panic value %+v", pv)
+		}
+	}()
+	p.Point(context.Background(), "owl.detect", 3)
+}
+
+func TestPointErrorAndTimesBound(t *testing.T) {
+	p := &Plan{Rules: []Rule{{Stage: "owl.rv", Run: 0, Kind: KindError, Times: 2}}}
+	for i := 0; i < 2; i++ {
+		err := p.Point(context.Background(), "owl.rv", 0)
+		var fe *Err
+		if !errors.As(err, &fe) {
+			t.Fatalf("hit %d: got %v, want *Err", i, err)
+		}
+	}
+	if err := p.Point(context.Background(), "owl.rv", 0); err != nil {
+		t.Fatalf("rule exhausted after Times=2 but fired again: %v", err)
+	}
+}
+
+func TestDelayHonorsContext(t *testing.T) {
+	p := &Plan{Rules: []Rule{{Stage: "s", Run: -1, Kind: KindDelay, DelayMS: 60000}}}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := p.Point(ctx, "s", 0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("delay cut short should return ctx error, got %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("delay ignored context")
+	}
+}
+
+func TestStepBudgetOverride(t *testing.T) {
+	p := &Plan{Rules: []Rule{{Stage: "owl.detect", Run: 1, Kind: KindMaxSteps, MaxSteps: 7}}}
+	if got := p.StepBudget("owl.detect", 0, 1000); got != 1000 {
+		t.Fatalf("run 0 budget = %d, want default", got)
+	}
+	if got := p.StepBudget("owl.detect", 1, 1000); got != 7 {
+		t.Fatalf("run 1 budget = %d, want 7", got)
+	}
+	// KindMaxSteps must not fire at Point.
+	if err := p.Point(context.Background(), "owl.detect", 1); err != nil {
+		t.Fatalf("max-steps rule fired at Point: %v", err)
+	}
+}
+
+// TestProbDeterministic pins the seeded coin: the same (seed, rule,
+// stage, run) always decides the same way, and the decision is
+// independent of call order.
+func TestProbDeterministic(t *testing.T) {
+	decide := func() []bool {
+		p := &Plan{Seed: 42, Rules: []Rule{{Stage: "s", Run: -1, Kind: KindError, Prob: 0.5}}}
+		out := make([]bool, 20)
+		for run := 0; run < 20; run++ {
+			out[run] = p.Point(context.Background(), "s", run) != nil
+		}
+		return out
+	}
+	a, b := decide(), decide()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run %d decided differently across plans", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("prob 0.5 fired %d/%d times; coin looks broken", fired, len(a))
+	}
+}

@@ -88,10 +88,12 @@ func (b *Builder) Build() (*Module, error) {
 }
 
 // MustBuild is Build but panics on error; for statically known modules.
+// The panic value is a typed *Error, so Try (or any recover boundary)
+// can turn it back into a returned error.
 func (b *Builder) MustBuild() *Module {
 	m, err := b.Build()
 	if err != nil {
-		panic(fmt.Sprintf("ir: build: %v", err))
+		panic(&Error{Op: "build", Name: b.mod.Name, Err: err})
 	}
 	return m
 }

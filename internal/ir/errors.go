@@ -1,0 +1,43 @@
+package ir
+
+import "fmt"
+
+// Error is the typed value the Must* helpers panic with, so a malformed
+// module raised through a convenience constructor can be recovered at
+// the package boundary (Try) — or by the pipeline supervisor — and
+// handled as an ordinary returned error instead of a process-killing
+// string panic.
+type Error struct {
+	// Op names the failing operation: "build", "parse", or "freeze".
+	Op string
+	// Name is the module or file the operation was applied to.
+	Name string
+	// Err is the underlying cause.
+	Err error
+}
+
+func (e *Error) Error() string {
+	if e.Name != "" {
+		return fmt.Sprintf("ir: %s %s: %v", e.Op, e.Name, e.Err)
+	}
+	return fmt.Sprintf("ir: %s: %v", e.Op, e.Err)
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// Try runs a module constructor that may use the Must* helpers
+// (MustBuild, MustParse, MustFreeze) and converts their panics back into
+// returned errors at the package boundary. Panics that are not *ir.Error
+// are genuine bugs and propagate unchanged.
+func Try(fn func() *Module) (m *Module, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			e, ok := r.(*Error)
+			if !ok {
+				panic(r)
+			}
+			err = e
+		}
+	}()
+	return fn(), nil
+}

@@ -1,0 +1,104 @@
+package ir
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestTryConvertsMustParsePanic feeds MustParse malformed source and
+// checks the panic surfaces as a typed, unwrappable error.
+func TestTryConvertsMustParsePanic(t *testing.T) {
+	m, err := Try(func() *Module {
+		return MustParse("bad.ir", "func @f {\n  this is not ir\n")
+	})
+	if m != nil || err == nil {
+		t.Fatalf("Try = (%v, %v), want (nil, error)", m, err)
+	}
+	var ie *Error
+	if !errors.As(err, &ie) {
+		t.Fatalf("error %T is not *ir.Error", err)
+	}
+	if ie.Op != "parse" || ie.Name != "bad.ir" {
+		t.Fatalf("Error = %+v, want Op=parse Name=bad.ir", ie)
+	}
+	if !strings.HasPrefix(err.Error(), "ir: parse bad.ir:") {
+		t.Fatalf("message %q lacks the ir: parse prefix", err)
+	}
+}
+
+// TestTryConvertsMustBuildPanic checks a builder error (duplicate
+// global) raised through MustBuild is recoverable.
+func TestTryConvertsMustBuildPanic(t *testing.T) {
+	m, err := Try(func() *Module {
+		b := NewBuilder("dup")
+		b.Global("g", 1, 0)
+		b.Global("g", 1, 0)
+		return b.MustBuild()
+	})
+	if m != nil || err == nil {
+		t.Fatalf("Try = (%v, %v), want (nil, error)", m, err)
+	}
+	var ie *Error
+	if !errors.As(err, &ie) || ie.Op != "build" || ie.Name != "dup" {
+		t.Fatalf("error = %v, want *ir.Error with Op=build Name=dup", err)
+	}
+	if !strings.Contains(err.Error(), "duplicate global") {
+		t.Fatalf("message %q does not carry the underlying cause", err)
+	}
+}
+
+// TestTryConvertsMustFreezePanic checks a structurally malformed module
+// (duplicate block) raised through MustFreeze is recoverable.
+func TestTryConvertsMustFreezePanic(t *testing.T) {
+	m := NewModule("malformed")
+	f := &Func{Name: "f", Blocks: []*Block{{Name: "entry"}, {Name: "entry"}}}
+	if err := m.AddFunc(f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Try(func() *Module { return m.MustFreeze() })
+	if got != nil || err == nil {
+		t.Fatalf("Try = (%v, %v), want (nil, error)", got, err)
+	}
+	var ie *Error
+	if !errors.As(err, &ie) || ie.Op != "freeze" || ie.Name != "malformed" {
+		t.Fatalf("error = %v, want *ir.Error with Op=freeze Name=malformed", err)
+	}
+}
+
+// TestTryPassesCleanModuleThrough checks the happy path is untouched.
+func TestTryPassesCleanModuleThrough(t *testing.T) {
+	m, err := Try(func() *Module {
+		b := NewBuilder("ok")
+		fb := b.Func("main")
+		fb.Block("entry")
+		fb.Ret(fb.Const(0))
+		return b.MustBuild()
+	})
+	if err != nil {
+		t.Fatalf("Try on a clean module: %v", err)
+	}
+	if m == nil || !m.Frozen() {
+		t.Fatal("Try did not return the frozen module")
+	}
+}
+
+// TestTryRepanicsForeignValues checks non-ir panics are not swallowed.
+func TestTryRepanicsForeignValues(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "not an ir error" {
+			t.Fatalf("recovered %v, want the foreign panic value", r)
+		}
+	}()
+	Try(func() *Module { panic("not an ir error") })
+	t.Fatal("foreign panic was swallowed")
+}
+
+// TestErrorUnwrap checks the cause chain survives for errors.Is/As users.
+func TestErrorUnwrap(t *testing.T) {
+	cause := errors.New("root cause")
+	e := &Error{Op: "build", Name: "m", Err: cause}
+	if !errors.Is(e, cause) {
+		t.Fatal("errors.Is cannot reach the wrapped cause")
+	}
+}

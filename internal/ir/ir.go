@@ -572,9 +572,11 @@ func (m *Module) Freeze() error {
 
 // MustFreeze is Freeze but panics on error; intended for statically known
 // modules (workload models, tests) where a malformed module is a bug.
+// The panic value is a typed *Error, so Try (or any recover boundary)
+// can turn it back into a returned error.
 func (m *Module) MustFreeze() *Module {
 	if err := m.Freeze(); err != nil {
-		panic(fmt.Sprintf("ir: freeze %s: %v", m.Name, err))
+		panic(&Error{Op: "freeze", Name: m.Name, Err: err})
 	}
 	return m
 }

@@ -43,10 +43,12 @@ func Parse(filename, src string) (*Module, error) {
 }
 
 // MustParse is Parse but panics on error; for embedded workload sources.
+// The panic value is a typed *Error, so Try (or any recover boundary)
+// can turn it back into a returned error.
 func MustParse(filename, src string) *Module {
 	m, err := Parse(filename, src)
 	if err != nil {
-		panic(fmt.Sprintf("ir: parse %s: %v", filename, err))
+		panic(&Error{Op: "parse", Name: filename, Err: err})
 	}
 	return m
 }

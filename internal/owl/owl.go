@@ -13,20 +13,31 @@
 // The package also produces the reduction accounting behind the paper's
 // Table 3 (raw reports -> ad-hoc annotated -> verifier-eliminated ->
 // remaining) and the per-program detection summaries of Table 2.
+//
+// Every stage runs under a pipeline supervisor (internal/supervise): a
+// panicking or erroring run is quarantined instead of killing the
+// process, stages respect a per-stage deadline and cooperative
+// cancellation, and later stages consume whatever partial results a
+// degraded stage produced. Result carries the deterministic Quarantined
+// and Degraded records; Options.FailFast opts out of degradation and
+// turns the first stage fault into an error.
 package owl
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"github.com/conanalysis/owl/internal/adhoc"
 	"github.com/conanalysis/owl/internal/atomicity"
+	"github.com/conanalysis/owl/internal/faultinject"
 	"github.com/conanalysis/owl/internal/interp"
 	"github.com/conanalysis/owl/internal/ir"
 	"github.com/conanalysis/owl/internal/metrics"
 	"github.com/conanalysis/owl/internal/race"
 	"github.com/conanalysis/owl/internal/raceverify"
 	"github.com/conanalysis/owl/internal/sched"
+	"github.com/conanalysis/owl/internal/supervise"
 	"github.com/conanalysis/owl/internal/vuln"
 	"github.com/conanalysis/owl/internal/vulnverify"
 )
@@ -113,6 +124,30 @@ type Options struct {
 	// Metrics, when non-nil, receives per-stage wall/busy timings,
 	// report/finding counters, and worker-utilization gauges for the run.
 	Metrics *metrics.Collector
+
+	// Ctx cancels the whole pipeline cooperatively: checked between
+	// interpreter runs (job boundaries) and between exploration rounds.
+	// A canceled pipeline returns the partial Result with the remaining
+	// runs recorded as lost (default context.Background()).
+	Ctx context.Context
+
+	// StageTimeout is the per-stage deadline (0 = none). A stage that
+	// overruns it loses its unfinished runs and degrades; later stages
+	// still run on the partial results.
+	StageTimeout time.Duration
+
+	// Retries is the number of extra attempts a faulted run gets (with
+	// exponential backoff) before it is quarantined (default 0).
+	Retries int
+
+	// Faults is the optional deterministic fault-injection plan
+	// (-faults on cmd/owl); nil injects nothing.
+	Faults *faultinject.Plan
+
+	// FailFast turns graceful degradation off: the first stage that
+	// quarantines or loses a run fails the pipeline with an error naming
+	// that stage, instead of degrading and continuing.
+	FailFast bool
 }
 
 // Stats is the Table-3 accounting for one program.
@@ -164,7 +199,13 @@ type Result struct {
 	// Options.EnableAtomicity is set.
 	AtomicityReports  []*atomicity.Report
 	AtomicityFindings []*vuln.Finding
-	Stats             Stats
+	// Quarantined lists the runs the supervisor isolated (panic or
+	// error after retries), in stage-then-run order; Degraded lists the
+	// stages that lost work and why. Both are empty on a clean run and
+	// deterministic for a fixed fault plan regardless of worker count.
+	Quarantined []supervise.Quarantined
+	Degraded    []supervise.Degradation
+	Stats       Stats
 }
 
 // Run executes the pipeline over the program.
@@ -193,38 +234,77 @@ func Run(p Program, opts Options) (*Result, error) {
 		budget = detectRuns
 	}
 
+	sup := supervise.New(supervise.Config{
+		Ctx:          opts.Ctx,
+		StageTimeout: opts.StageTimeout,
+		Retries:      opts.Retries,
+		Faults:       opts.Faults,
+		Metrics:      mc,
+	})
+
 	res := &Result{FindingsByReport: make(map[string][]*vuln.Finding)}
+	// finish folds the supervisor's accounting into the Result; every
+	// return path (degraded or fail-fast) goes through it so partial
+	// results always carry their loss records.
+	finish := func() {
+		res.Quarantined = sup.Quarantined()
+		res.Degraded = sup.Degraded()
+		res.Stats.TotalTime = time.Since(start)
+	}
+	// endStage closes a stage; under FailFast a faulted stage aborts the
+	// pipeline with an error naming it.
+	endStage := func(st *supervise.StageRun) error {
+		faulted := st.Faulted()
+		st.Close()
+		if opts.FailFast && faulted {
+			return st.FaultErr()
+		}
+		return nil
+	}
 
 	// runDetect is one detect stage: the fixed-seed loop or the
-	// coverage-guided engine, both merging reports in run order.
-	runDetect := func(benign *race.Annotations) []*race.Report {
+	// coverage-guided engine, both merging reports in run order under the
+	// given stage's supervision.
+	runDetect := func(st *supervise.StageRun, benign *race.Annotations) []*race.Report {
 		if opts.Explore == ExploreCoverage {
-			reports, runs := detectCoverage(p, budget, workers, benign, opts.Seed, mc)
+			reports, runs := detectCoverage(p, st, budget, workers, benign, opts.Seed, mc)
 			mc.Count("owl.detect_runs", int64(runs))
 			return reports
 		}
 		mc.Count("owl.detect_runs", int64(detectRuns))
-		return detect(p, detectRuns, workers, benign, mc)
+		return detect(p, st, detectRuns, workers, benign, mc)
 	}
 
 	// Step 1: detection runs over explored schedules; dedupe across runs.
-	stop := mc.Stage("owl.detect")
-	res.Raw = runDetect(nil)
-	stop()
+	st := sup.Stage("owl.detect")
+	res.Raw = runDetect(st, nil)
+	if err := endStage(st); err != nil {
+		finish()
+		return nil, fmt.Errorf("owl: %w", err)
+	}
 	res.Stats.RawReports = len(res.Raw)
 	mc.Count("owl.raw_reports", int64(res.Stats.RawReports))
 
-	// Step 2: mine ad-hoc synchronizations, annotate, re-run.
+	// Step 2: mine ad-hoc synchronizations, annotate, re-run. Mining is
+	// guarded (a panic over partial reports degrades to the unannotated
+	// set); the re-run's executions are stage "owl.adhoc" for fault keys,
+	// so plans targeting "owl.detect" hit only the initial runs.
 	working := res.Raw
 	if !opts.DisableAdhoc {
-		stop = mc.Stage("owl.adhoc")
-		res.Syncs = adhoc.NewDetector().Analyze(res.Raw)
-		res.Stats.AdhocSyncs = adhoc.UniqueVars(res.Syncs)
-		if len(res.Syncs) > 0 {
+		st = sup.Stage("owl.adhoc")
+		mined := st.Guard(0, func(context.Context) error {
+			res.Syncs = adhoc.NewDetector().Analyze(res.Raw)
+			res.Stats.AdhocSyncs = adhoc.UniqueVars(res.Syncs)
+			return nil
+		})
+		if mined && len(res.Syncs) > 0 {
 			ann := adhoc.Annotate(res.Syncs, nil)
-			working = runDetect(ann)
+			working = runDetect(st, ann)
 		}
-		stop()
+		if err := endStage(st); err != nil {
+			finish()
+			return nil, fmt.Errorf("owl: %w", err)
+		}
 	}
 	res.Annotated = working
 	res.Stats.AfterAnnotation = len(working)
@@ -233,26 +313,38 @@ func Run(p Program, opts Options) (*Result, error) {
 
 	// Step 3: dynamic race verification with security hints. Each report
 	// is verified on its own freshly built machines, so the per-report
-	// loop fans out; hints are collected in report order.
+	// loop fans out; hints are collected in report order. A quarantined
+	// verification drops its report from every later stage (neither
+	// verified nor eliminated — lost).
 	mk := factory(p)
+	rvLost := 0
 	if !opts.DisableRaceVerify {
 		rv := opts.RaceVerifier
 		if rv == nil {
 			rv = raceverify.New()
 		}
-		stop = mc.Stage("owl.raceverify")
+		st = sup.Stage("owl.raceverify")
 		hints := make([]*raceverify.Hint, len(working))
-		errs := make([]error, len(working))
-		metrics.ForEach(mc, "owl.raceverify", len(working), workers, func(i int) {
-			hints[i], errs[i] = rv.Verify(mk, working[i])
-		})
-		stop()
-		for _, err := range errs {
-			if err != nil {
-				return nil, fmt.Errorf("owl: race verification: %w", err)
+		st.ForEach(0, len(working), workers, func(_ context.Context, i int) error {
+			if err := st.Inject(i); err != nil {
+				return err
 			}
+			h, err := rv.Verify(mk, working[i])
+			if err != nil {
+				return fmt.Errorf("race verification of %s: %w", working[i].ID(), err)
+			}
+			hints[i] = h
+			return nil
+		})
+		if err := endStage(st); err != nil {
+			finish()
+			return nil, fmt.Errorf("owl: %w", err)
 		}
 		for _, h := range hints {
+			if h == nil {
+				rvLost++
+				continue
+			}
 			res.Hints = append(res.Hints, h)
 			if !h.Verified {
 				res.Stats.VerifierEliminated++
@@ -263,19 +355,21 @@ func Run(p Program, opts Options) (*Result, error) {
 			res.Hints = append(res.Hints, &raceverify.Hint{Report: rep, Verified: true})
 		}
 	}
-	res.Stats.Remaining = res.Stats.AfterAnnotation - res.Stats.VerifierEliminated
+	res.Stats.Remaining = res.Stats.AfterAnnotation - res.Stats.VerifierEliminated - rvLost
 	mc.Count("owl.verifier_eliminated", int64(res.Stats.VerifierEliminated))
 
-	// Step 4: Algorithm 1 on each verified report's read side.
+	// Step 4: Algorithm 1 on each verified report's read side. The loop
+	// stays sequential (findings accumulate in hint order); each hint's
+	// analysis is guarded so one pathological report degrades alone.
 	analysisStart := time.Now()
-	stop = mc.Stage("owl.analyze")
+	st = sup.Stage("owl.analyze")
 	analyzer := vuln.NewAnalyzer(p.Module)
 	analyzer.TrackCtrl = !opts.DisableCtrlFlow
 	analyzer.InterProcedural = !opts.DisableInterProc
 	if opts.Sites != nil {
 		analyzer.Sites = opts.Sites
 	}
-	for _, h := range res.Hints {
+	for j, h := range res.Hints {
 		if !h.Verified {
 			continue
 		}
@@ -283,22 +377,31 @@ func Run(p Program, opts Options) (*Result, error) {
 		if !ok || rd.Instr == nil {
 			continue
 		}
-		findings := analyzer.Analyze(rd.Instr, rd.Stack)
-		if len(findings) > 0 {
-			res.FindingsByReport[h.Report.ID()] = findings
-			res.Stats.Findings += len(findings)
-		}
+		st.Guard(j, func(context.Context) error {
+			if err := st.Inject(j); err != nil {
+				return err
+			}
+			findings := analyzer.Analyze(rd.Instr, rd.Stack)
+			if len(findings) > 0 {
+				res.FindingsByReport[h.Report.ID()] = findings
+				res.Stats.Findings += len(findings)
+			}
+			return nil
+		})
 	}
-	stop()
+	if err := endStage(st); err != nil {
+		finish()
+		return nil, fmt.Errorf("owl: %w", err)
+	}
 	mc.Count("owl.findings", int64(res.Stats.Findings))
 	// Optional CTrigger-style stage: atomicity violations also feed
 	// Algorithm 1 (paper §8.3 integration).
 	if opts.EnableAtomicity {
-		stop = mc.Stage("owl.atomicity")
+		st = sup.Stage("owl.atomicity")
 		if opts.Explore == ExploreCoverage {
-			res.AtomicityReports = detectAtomicityCoverage(p, budget, workers, opts.Seed, mc)
+			res.AtomicityReports = detectAtomicityCoverage(p, st, budget, workers, opts.Seed, mc)
 		} else {
-			res.AtomicityReports = detectAtomicity(p, detectRuns, workers, mc)
+			res.AtomicityReports = detectAtomicity(p, st, detectRuns, workers, mc)
 		}
 		for _, ar := range res.AtomicityReports {
 			in, stack, ok := atomicity.ReadSideOf(ar)
@@ -307,13 +410,17 @@ func Run(p Program, opts Options) (*Result, error) {
 			}
 			res.AtomicityFindings = append(res.AtomicityFindings, analyzer.Analyze(in, stack)...)
 		}
-		stop()
+		if err := endStage(st); err != nil {
+			finish()
+			return nil, fmt.Errorf("owl: %w", err)
+		}
 	}
 	res.Stats.AnalysisTime = time.Since(analysisStart)
 
 	// Step 5: dynamic vulnerability verification. The (hint, finding)
 	// pairs form an order-stable job list; outcomes land back in job order
-	// so the output is independent of worker count.
+	// so the output is independent of worker count. A quarantined or lost
+	// verification leaves its slot nil — no outcome, no attack.
 	if !opts.DisableVulnVerify {
 		vv := opts.VulnVerifier
 		if vv == nil {
@@ -332,19 +439,27 @@ func Run(p Program, opts Options) (*Result, error) {
 				vvJobs = append(vvJobs, vvJob{h: h, f: f})
 			}
 		}
-		stop = mc.Stage("owl.vulnverify")
+		st = sup.Stage("owl.vulnverify")
 		outs := make([]*vulnverify.Outcome, len(vvJobs))
-		errs := make([]error, len(vvJobs))
-		metrics.ForEach(mc, "owl.vulnverify", len(vvJobs), workers, func(i int) {
-			outs[i], errs[i] = vv.Verify(mk, vvJobs[i].f)
-		})
-		stop()
-		for _, err := range errs {
-			if err != nil {
-				return nil, fmt.Errorf("owl: vulnerability verification: %w", err)
+		st.ForEach(0, len(vvJobs), workers, func(_ context.Context, i int) error {
+			if err := st.Inject(i); err != nil {
+				return err
 			}
+			out, err := vv.Verify(mk, vvJobs[i].f)
+			if err != nil {
+				return fmt.Errorf("vulnerability verification at %s: %w", vvJobs[i].f.Site.Loc(), err)
+			}
+			outs[i] = out
+			return nil
+		})
+		if err := endStage(st); err != nil {
+			finish()
+			return nil, fmt.Errorf("owl: %w", err)
 		}
 		for i, out := range outs {
+			if out == nil {
+				continue
+			}
 			res.Outcomes = append(res.Outcomes, out)
 			if out.Reached {
 				res.Stats.VerifiedAttacks++
@@ -359,27 +474,34 @@ func Run(p Program, opts Options) (*Result, error) {
 	}
 	mc.Count("owl.outcomes", int64(len(res.Outcomes)))
 	mc.Count("owl.attacks", int64(len(res.Attacks)))
-	res.Stats.TotalTime = time.Since(start)
+	finish()
 	return res, nil
 }
 
 // detectAtomicity runs the atomicity detector across seeded schedules,
-// fanning the runs over the worker pool and merging violations by ID in
-// seed order (so the output is independent of worker count).
-func detectAtomicity(p Program, runs, workers int, mc *metrics.Collector) []*atomicity.Report {
+// fanning the runs over the stage's supervised pool and merging
+// violations by ID in seed order (so the output is independent of worker
+// count). A quarantined or lost run contributes no reports.
+func detectAtomicity(p Program, st *supervise.StageRun, runs, workers int, mc *metrics.Collector) []*atomicity.Report {
 	perSeed := make([][]*atomicity.Report, runs)
-	metrics.ForEach(mc, "owl.atomicity", runs, workers, func(i int) {
+	st.ForEach(0, runs, workers, func(_ context.Context, i int) error {
+		if err := st.Inject(i); err != nil {
+			return err
+		}
 		d := atomicity.NewDetector()
 		m, err := interp.New(interp.Config{
 			Module: p.Module, Entry: p.Entry, Args: p.Args, Inputs: p.Inputs,
-			MaxSteps: p.MaxSteps, Sched: sched.NewRandom(uint64(i + 1)),
+			MaxSteps: st.StepBudget(i, p.MaxSteps), Sched: sched.NewRandom(uint64(i + 1)),
 			Observers: []interp.Observer{d},
 		})
 		if err != nil {
-			return
+			return fmt.Errorf("build machine: %w", err)
 		}
-		m.Run()
+		if m.Run().MaxStepsHit {
+			mc.Count("interp.max_steps_hit", 1)
+		}
 		perSeed[i] = d.Reports()
+		return nil
 	})
 	merged := map[string]*atomicity.Report{}
 	var order []*atomicity.Report
@@ -397,26 +519,33 @@ func detectAtomicity(p Program, runs, workers int, mc *metrics.Collector) []*ato
 }
 
 // detect runs the race detector across seeded schedules, fanning the runs
-// over the worker pool. Every run builds a private machine and detector
-// against the frozen module; only the per-seed report slices are shared,
-// each written by exactly one worker. Reports merge by ID in seed order,
-// so the result is identical for any worker count.
-func detect(p Program, runs, workers int, benign *race.Annotations, mc *metrics.Collector) []*race.Report {
+// over the stage's supervised pool. Every run builds a private machine
+// and detector against the frozen module; only the per-seed report
+// slices are shared, each written by exactly one worker. Reports merge by
+// ID in seed order, so the result is identical for any worker count; a
+// quarantined or lost run leaves its slot empty and the survivors merge.
+func detect(p Program, st *supervise.StageRun, runs, workers int, benign *race.Annotations, mc *metrics.Collector) []*race.Report {
 	perSeed := make([][]*race.Report, runs)
-	metrics.ForEach(mc, "owl.detect", runs, workers, func(i int) {
+	st.ForEach(0, runs, workers, func(_ context.Context, i int) error {
+		if err := st.Inject(i); err != nil {
+			return err
+		}
 		d := race.NewDetector()
 		d.Benign = benign
 		m, err := interp.New(interp.Config{
 			Module: p.Module, Entry: p.Entry, Args: p.Args, Inputs: p.Inputs,
-			MaxSteps: p.MaxSteps, Sched: sched.NewRandom(uint64(i + 1)),
+			MaxSteps: st.StepBudget(i, p.MaxSteps), Sched: sched.NewRandom(uint64(i + 1)),
 			Observers: []interp.Observer{d},
 		})
 		if err != nil {
-			return
+			return fmt.Errorf("build machine: %w", err)
 		}
-		m.Run()
+		if m.Run().MaxStepsHit {
+			mc.Count("interp.max_steps_hit", 1)
+		}
 		d.FlushMetrics(mc) // Collector.Count is mutex-guarded; safe per worker
 		perSeed[i] = d.Reports()
+		return nil
 	})
 	merged := map[string]*race.Report{}
 	var order []*race.Report
@@ -436,34 +565,44 @@ func detect(p Program, runs, workers int, benign *race.Annotations, mc *metrics.
 // detectCoverage runs the race detector under the coverage-guided
 // exploration engine: a portfolio of schedule strategies spends the run
 // budget in rounds, scored by new interleaving coverage and new deduped
-// reports, with early stop on saturation. Rounds fan out over the worker
-// pool exactly like the fixed-seed loop; reports merge by ID in the
-// engine's job order (strategy/seed order within each round), so the
-// result is byte-identical for any worker count. It returns the merged
-// reports and the number of runs actually spent.
-func detectCoverage(p Program, budget, workers int, benign *race.Annotations, seed uint64, mc *metrics.Collector) ([]*race.Report, int) {
+// reports, with early stop on saturation. Rounds fan out over the stage's
+// supervised pool exactly like the fixed-seed loop; reports merge by ID
+// in the engine's job order (strategy/seed order within each round), so
+// the result is byte-identical for any worker count. Fault-injection run
+// indices count globally across rounds. It returns the merged reports
+// and the number of runs actually spent.
+func detectCoverage(p Program, st *supervise.StageRun, budget, workers int, benign *race.Annotations, seed uint64, mc *metrics.Collector) ([]*race.Report, int) {
 	eng := sched.NewEngine(sched.EngineConfig{Budget: budget, Seed: seed, PCTSteps: p.MaxSteps})
 	merged := map[string]*race.Report{}
 	var order []*race.Report
-	res, _ := eng.Explore(func(jobs []*sched.Job) error {
+	base := 0
+	res, _ := eng.ExploreCtx(st.Ctx(), func(jobs []*sched.Job) error {
 		perJob := make([][]*race.Report, len(jobs))
-		metrics.ForEach(mc, "owl.detect", len(jobs), workers, func(i int) {
+		st.ForEach(base, len(jobs), workers, func(_ context.Context, idx int) error {
+			if err := st.Inject(idx); err != nil {
+				return err
+			}
+			i := idx - base
 			j := jobs[i]
 			d := race.NewDetector()
 			d.Benign = benign
 			m, err := interp.New(interp.Config{
 				Module: p.Module, Entry: p.Entry, Args: p.Args, Inputs: p.Inputs,
-				MaxSteps: p.MaxSteps, Sched: j.Sched,
+				MaxSteps: st.StepBudget(idx, p.MaxSteps), Sched: j.Sched,
 				Observers:       []interp.Observer{d},
 				SwitchObservers: []interp.SwitchObserver{j.Cov},
 			})
 			if err != nil {
-				return
+				return fmt.Errorf("build machine: %w", err)
 			}
-			m.Run()
+			if m.Run().MaxStepsHit {
+				mc.Count("interp.max_steps_hit", 1)
+			}
 			d.FlushMetrics(mc)
 			perJob[i] = d.Reports()
+			return nil
 		})
+		base += len(jobs)
 		for i, reports := range perJob {
 			ids := make([]string, len(reports))
 			for k, r := range reports {
@@ -487,27 +626,36 @@ func detectCoverage(p Program, budget, workers int, benign *race.Annotations, se
 
 // detectAtomicityCoverage is detectCoverage for the CTrigger-style
 // atomicity detector.
-func detectAtomicityCoverage(p Program, budget, workers int, seed uint64, mc *metrics.Collector) []*atomicity.Report {
+func detectAtomicityCoverage(p Program, st *supervise.StageRun, budget, workers int, seed uint64, mc *metrics.Collector) []*atomicity.Report {
 	eng := sched.NewEngine(sched.EngineConfig{Budget: budget, Seed: seed, PCTSteps: p.MaxSteps})
 	merged := map[string]*atomicity.Report{}
 	var order []*atomicity.Report
-	res, _ := eng.Explore(func(jobs []*sched.Job) error {
+	base := 0
+	res, _ := eng.ExploreCtx(st.Ctx(), func(jobs []*sched.Job) error {
 		perJob := make([][]*atomicity.Report, len(jobs))
-		metrics.ForEach(mc, "owl.atomicity", len(jobs), workers, func(i int) {
+		st.ForEach(base, len(jobs), workers, func(_ context.Context, idx int) error {
+			if err := st.Inject(idx); err != nil {
+				return err
+			}
+			i := idx - base
 			j := jobs[i]
 			d := atomicity.NewDetector()
 			m, err := interp.New(interp.Config{
 				Module: p.Module, Entry: p.Entry, Args: p.Args, Inputs: p.Inputs,
-				MaxSteps: p.MaxSteps, Sched: j.Sched,
+				MaxSteps: st.StepBudget(idx, p.MaxSteps), Sched: j.Sched,
 				Observers:       []interp.Observer{d},
 				SwitchObservers: []interp.SwitchObserver{j.Cov},
 			})
 			if err != nil {
-				return
+				return fmt.Errorf("build machine: %w", err)
 			}
-			m.Run()
+			if m.Run().MaxStepsHit {
+				mc.Count("interp.max_steps_hit", 1)
+			}
 			perJob[i] = d.Reports()
+			return nil
 		})
+		base += len(jobs)
 		for i, reports := range perJob {
 			ids := make([]string, len(reports))
 			for k, r := range reports {

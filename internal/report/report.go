@@ -11,9 +11,37 @@ import (
 	"github.com/conanalysis/owl/internal/owl"
 	"github.com/conanalysis/owl/internal/race"
 	"github.com/conanalysis/owl/internal/raceverify"
+	"github.com/conanalysis/owl/internal/supervise"
 	"github.com/conanalysis/owl/internal/vuln"
 	"github.com/conanalysis/owl/internal/vulnverify"
 )
+
+// Quarantined / Degradation are the supervisor's structured records of
+// isolated worker runs and degraded stages (aliased from
+// internal/supervise, the leaf package the supervisor lives in, so both
+// this package and owl can name them without an import cycle).
+type (
+	Quarantined = supervise.Quarantined
+	Degradation = supervise.Degradation
+)
+
+// Robustness renders a pipeline result's quarantine and degradation
+// records; it returns "" for a clean run so callers can print it
+// unconditionally.
+func Robustness(res *owl.Result) string {
+	if len(res.Quarantined) == 0 && len(res.Degraded) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("== pipeline degradation ==\n")
+	for _, d := range res.Degraded {
+		fmt.Fprintf(&b, "%s\n", d.String())
+	}
+	for _, q := range res.Quarantined {
+		fmt.Fprintf(&b, "%s\n", q.String())
+	}
+	return b.String()
+}
 
 // Race renders one race report.
 func Race(r *race.Report) string { return r.String() }

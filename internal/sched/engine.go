@@ -11,6 +11,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/conanalysis/owl/internal/interp"
@@ -130,6 +131,7 @@ type EngineResult struct {
 	Rounds        int
 	EarlyStop     bool // stopped on saturation with budget left
 	DFSExhausted  bool // the bounded DFS tree was fully covered
+	Interrupted   bool // the caller's context ended with budget left
 	CoveragePairs int
 	Strategies    [numStrategies]StrategyStats
 	RoundLog      []RoundStats
@@ -168,12 +170,26 @@ func (e *Engine) Coverage() *Coverage { return e.cov }
 // The engine itself touches shared state only between runner calls, in
 // job order, so the outcome is independent of the runner's parallelism.
 func (e *Engine) Explore(runner func(jobs []*Job) error) (*EngineResult, error) {
+	return e.ExploreCtx(context.Background(), runner)
+}
+
+// ExploreCtx is Explore with cooperative cancellation: the context is
+// checked between rounds (never mid-round, so a round's jobs always
+// merge atomically and the outcome stays deterministic for the rounds
+// that did run). A canceled exploration returns the partial result with
+// Interrupted set rather than an error — the supervisor layer decides
+// whether losing the remaining budget degrades or fails the stage.
+func (e *Engine) ExploreCtx(ctx context.Context, runner func(jobs []*Job) error) (*EngineResult, error) {
 	if e.cfg.Budget <= 0 {
 		return &e.res, nil
 	}
 	remaining := e.cfg.Budget
 	dry := 0
 	for remaining > 0 && dry < e.cfg.Saturation {
+		if ctx.Err() != nil {
+			e.res.Interrupted = true
+			break
+		}
 		roundRuns := e.cfg.RoundRuns
 		if roundRuns > remaining {
 			roundRuns = remaining
