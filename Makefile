@@ -11,12 +11,14 @@
 #   make bench-pipeline  parallel-speedup ablation -> BENCH_pipeline.json
 #   make bench-detector  race-detector ablation    -> BENCH_detector.json
 #   make bench-explore   exploration ablation      -> BENCH_explore.json
+#   make bench-summary   fold BENCH_*.json streams -> BENCH_summary.json
 
 GO ?= go
 GOFMT ?= gofmt
 
 .PHONY: ci build vet test race faults fmt-check golden golden-update \
-	bench bench-smoke bench-pipeline bench-detector bench-explore clean
+	bench bench-smoke bench-pipeline bench-detector bench-explore \
+	bench-summary clean
 
 ci: build vet race faults
 
@@ -108,6 +110,13 @@ bench-explore:
 	$(GO) test -json -run '^$$' -bench 'BenchmarkExploration' -benchtime 1x . > BENCH_explore.json
 	@sed -n 's/.*"Output":"\(.*\)"}$$/\1/p' BENCH_explore.json | tr -d '\n' | xargs -0 printf '%b' | grep -E 'Benchmark.*op' || true
 
+# Distill whatever BENCH_*.json test2json streams exist into one
+# machine-readable BENCH_summary.json: {source, name, ns/op, B/op,
+# allocs/op} rows (internal/benchfmt). CI runs it after the bench
+# targets so the artifact carries the summary alongside the raw streams.
+bench-summary:
+	$(GO) run ./tools/benchsummary
+
 clean:
 	rm -f BENCH_pipeline.json BENCH_detector.json BENCH_explore.json \
-		BENCH_smoke.json BENCH_golden_actual.txt
+		BENCH_smoke.json BENCH_summary.json BENCH_golden_actual.txt

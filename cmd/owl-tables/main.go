@@ -42,6 +42,7 @@ func run(args []string) error {
 		metricsOut = fs.String("metrics", "", `write per-stage metrics JSON to this file ("-" = stdout)`)
 		explore    = fs.String("explore", "fixed", "detect-stage schedule exploration: fixed or coverage")
 		budget     = fs.Int("budget", 0, "run budget for -explore=coverage (0 = detect runs)")
+		snapCache  = fs.Int("snap-cache", 0, "snapshot-cache entries per coverage stage for prefix-sharing exploration (0 = off)")
 		stable     = fs.Bool("stable", false, "deterministic output: elide timing fields (golden-fixture mode)")
 		stageTO    = fs.Duration("stage-timeout", 0, "per-stage deadline inside each workload's pipeline (0 = none)")
 		retries    = fs.Int("retries", 0, "extra attempts a faulted pipeline run gets before quarantine")
@@ -74,7 +75,7 @@ func run(args []string) error {
 
 	fmt.Printf("building tables (noise=%s)...\n\n", *noise)
 	t, err := eval.BuildTablesParallel(eval.Config{
-		Noise: lvl, Metrics: mc, Explore: mode, Budget: *budget,
+		Noise: lvl, Metrics: mc, Explore: mode, Budget: *budget, SnapCache: *snapCache,
 		StageTimeout: *stageTO, Retries: *retries, Faults: plan,
 	}, *workers)
 	if err != nil {

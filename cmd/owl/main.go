@@ -49,6 +49,7 @@ func run(args []string) error {
 		explore    = fs.String("explore", "fixed", "detect-stage schedule exploration: fixed or coverage")
 		budget     = fs.Int("budget", 0, "run budget for -explore=coverage (0 = same as -runs)")
 		seed       = fs.Uint64("seed", 0, "base seed for -explore=coverage")
+		snapCache  = fs.Int("snap-cache", 0, "snapshot-cache entries per coverage stage for prefix-sharing exploration (0 = off)")
 		workers    = fs.Int("workers", 1, "pipeline worker pool size (0 = NumCPU, 1 = sequential)")
 		metricsOut = fs.String("metrics", "", `write per-stage metrics JSON to this file ("-" = stdout)`)
 		maxSteps   = fs.Int("max-steps", 0, "interpreter step budget per run (0 = program default)")
@@ -101,7 +102,7 @@ func run(args []string) error {
 	}
 	res, err := owl.Run(prog, owl.Options{
 		DetectRuns: *detectRuns, Workers: nWorkers, Metrics: mc,
-		Explore: mode, Budget: *budget, Seed: *seed,
+		Explore: mode, Budget: *budget, Seed: *seed, SnapCache: *snapCache,
 		StageTimeout: *stageTO, Retries: *retries,
 		Faults: plan, FailFast: *failFast,
 	})

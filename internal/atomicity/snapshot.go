@@ -1,0 +1,63 @@
+package atomicity
+
+import "github.com/conanalysis/owl/internal/interp"
+
+// Snapshot is an immutable copy of the detector's dynamic state
+// (per-address last-local tracking, deduplicated reports with counts).
+// MaxGap is configuration, not state, and is not captured. Paired with
+// interp.Snapshot it lets schedule exploration fork a run — atomicity
+// detector included — at a decision point.
+type Snapshot struct {
+	state   map[int64]map[interp.ThreadID]lastLocal
+	reports []Report
+}
+
+// SnapshotState captures the detector's state; the return value
+// satisfies the any-typed contract of sched.StateForker without this
+// package importing sched.
+func (d *Detector) SnapshotState() any {
+	s := &Snapshot{
+		state:   make(map[int64]map[interp.ThreadID]lastLocal, len(d.state)),
+		reports: make([]Report, len(d.order)),
+	}
+	for addr, perThread := range d.state {
+		c := make(map[interp.ThreadID]lastLocal, len(perThread))
+		for tid, ll := range perThread {
+			c[tid] = *ll
+		}
+		s.state[addr] = c
+	}
+	for i, r := range d.order {
+		s.reports[i] = *r
+	}
+	return s
+}
+
+// RestoreState replaces the detector's dynamic state with the
+// snapshot's (MaxGap is left as configured). It reports false when the
+// value is not an atomicity snapshot.
+func (d *Detector) RestoreState(state any) bool {
+	s, ok := state.(*Snapshot)
+	if !ok {
+		return false
+	}
+	d.state = make(map[int64]map[interp.ThreadID]*lastLocal, len(s.state))
+	for addr, perThread := range s.state {
+		c := make(map[interp.ThreadID]*lastLocal, len(perThread))
+		for tid, ll := range perThread {
+			v := ll
+			c[tid] = &v
+		}
+		d.state[addr] = c
+	}
+	// Reports are mutable (Count grows on dedup hits): each restore
+	// materializes fresh values and rebuilds the triple-key index.
+	d.order = make([]*Report, len(s.reports))
+	d.byKey = make(map[tripleKey]*Report, len(s.reports))
+	for i := range s.reports {
+		r := s.reports[i]
+		d.order[i] = &r
+		d.byKey[tripleKey{r.First.Instr, r.Remote.Instr, r.Second.Instr, r.Kind}] = &r
+	}
+	return true
+}

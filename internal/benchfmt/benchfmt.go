@@ -1,0 +1,172 @@
+// Package benchfmt distills `go test -json` streams into the compact
+// benchmark summary the repo tracks across PRs: one row per benchmark
+// with ns/op and (when -benchmem was on) B/op and allocs/op. The
+// Makefile's bench targets leave raw test2json streams in BENCH_*.json;
+// `make bench-summary` folds them into BENCH_summary.json so the perf
+// trajectory is machine-readable without re-parsing test2json.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Row is one benchmark result. Source is the stream it came from (the
+// BENCH_*.json basename), so the same benchmark appearing in several
+// ablation files keeps one row per file. HasMem reports whether the
+// B/op and allocs/op columns were present (-benchmem).
+type Row struct {
+	Source      string  `json:"source"`
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	HasMem      bool    `json:"has_mem"`
+}
+
+// testEvent is the subset of test2json's event schema we consume.
+type testEvent struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// ParseStream extracts benchmark result rows from one newline-delimited
+// test2json stream. Benchmark output can be split across events, so
+// output is reassembled into lines first. A benchmark run with -count>1
+// keeps its last result (the convention benchstat-style tools use for
+// "the stream's final word"). Non-JSON lines are ignored so plain
+// `go test -bench` output also parses.
+func ParseStream(source string, r io.Reader) ([]Row, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var pending strings.Builder
+	byName := map[string]Row{}
+	var order []string
+	addLine := func(line string) {
+		row, ok := parseResultLine(source, line)
+		if !ok {
+			return
+		}
+		if _, seen := byName[row.Name]; !seen {
+			order = append(order, row.Name)
+		}
+		byName[row.Name] = row
+	}
+	for sc.Scan() {
+		raw := sc.Bytes()
+		var ev testEvent
+		if len(raw) > 0 && raw[0] == '{' && json.Unmarshal(raw, &ev) == nil {
+			if ev.Action != "output" {
+				continue
+			}
+			pending.WriteString(ev.Output)
+			for {
+				s := pending.String()
+				nl := strings.IndexByte(s, '\n')
+				if nl < 0 {
+					break
+				}
+				addLine(s[:nl])
+				pending.Reset()
+				pending.WriteString(s[nl+1:])
+			}
+			continue
+		}
+		addLine(string(raw))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchfmt: scan %s: %w", source, err)
+	}
+	addLine(pending.String())
+	rows := make([]Row, 0, len(order))
+	for _, name := range order {
+		rows = append(rows, byName[name])
+	}
+	return rows, nil
+}
+
+// parseResultLine parses one `BenchmarkName-8   100   123 ns/op ...`
+// result line (the format of testing.BenchmarkResult.String).
+func parseResultLine(source, line string) (Row, bool) {
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Row{}, false
+	}
+	if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+		return Row{}, false // second field must be the iteration count
+	}
+	row := Row{Source: source, Name: fields[0]}
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Row{}, false
+			}
+			row.NsPerOp = f
+			sawNs = true
+		case "B/op":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Row{}, false
+			}
+			row.BytesPerOp = n
+			row.HasMem = true
+		case "allocs/op":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Row{}, false
+			}
+			row.AllocsPerOp = n
+			row.HasMem = true
+		}
+	}
+	if !sawNs {
+		return Row{}, false
+	}
+	return row, true
+}
+
+// Summarize parses every given BENCH_*.json stream into rows, ordered
+// by (source, appearance). Sources are keyed by basename so the summary
+// is path-independent.
+func Summarize(paths []string) ([]Row, error) {
+	sort.Strings(paths)
+	var rows []Row
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, fmt.Errorf("benchfmt: %w", err)
+		}
+		base := p
+		if i := strings.LastIndexByte(base, '/'); i >= 0 {
+			base = base[i+1:]
+		}
+		got, err := ParseStream(base, f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, got...)
+	}
+	return rows, nil
+}
+
+// WriteSummary emits the rows as indented JSON (stable order, trailing
+// newline) — the BENCH_summary.json format.
+func WriteSummary(w io.Writer, rows []Row) error {
+	if rows == nil {
+		rows = []Row{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}

@@ -1,0 +1,97 @@
+package benchfmt
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestParseStreamTest2JSON(t *testing.T) {
+	stream := strings.Join([]string{
+		`{"Action":"start","Package":"p"}`,
+		`{"Action":"output","Package":"p","Output":"goos: linux\n"}`,
+		`{"Action":"output","Package":"p","Output":"BenchmarkAlpha-8 \t"}`,
+		`{"Action":"output","Package":"p","Output":"    1809\t    735508 ns/op\t  328970 B/op\t      84 allocs/op\n"}`,
+		`{"Action":"output","Package":"p","Output":"BenchmarkBeta \t 10 \t 123.5 ns/op\n"}`,
+		`{"Action":"output","Package":"p","Output":"--- PASS: TestUnrelated\n"}`,
+		`{"Action":"pass","Package":"p"}`,
+	}, "\n")
+	rows, err := ParseStream("BENCH_x.json", strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Row{
+		{Source: "BENCH_x.json", Name: "BenchmarkAlpha-8", NsPerOp: 735508, BytesPerOp: 328970, AllocsPerOp: 84, HasMem: true},
+		{Source: "BENCH_x.json", Name: "BenchmarkBeta", NsPerOp: 123.5},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %+v, want %d rows", rows, len(want))
+	}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Errorf("row %d = %+v, want %+v", i, rows[i], want[i])
+		}
+	}
+}
+
+func TestParseStreamKeepsLastOfRepeatedRuns(t *testing.T) {
+	stream := "BenchmarkX 10 100 ns/op\nBenchmarkX 20 90 ns/op\n"
+	rows, err := ParseStream("s", strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].NsPerOp != 90 {
+		t.Fatalf("rows = %+v, want one row at 90 ns/op", rows)
+	}
+}
+
+func TestParseStreamIgnoresNonResults(t *testing.T) {
+	stream := strings.Join([]string{
+		"BenchmarkNotAResult",           // no fields
+		"BenchmarkAlso x 1 ns/op",       // bad iteration count
+		"Benchmark_ok 5 2 widgets/op",   // no ns/op pair
+		"ok  \tgithub.com/x\t0.5s",      // summary line
+		"Benchmark_real 5 2.5 ns/op ok", // trailing junk is fine
+	}, "\n")
+	rows, err := ParseStream("s", strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Name != "Benchmark_real" || rows[0].NsPerOp != 2.5 {
+		t.Fatalf("rows = %+v, want only Benchmark_real", rows)
+	}
+}
+
+func TestWriteSummaryRoundTrips(t *testing.T) {
+	in := []Row{
+		{Source: "BENCH_a.json", Name: "BenchmarkA", NsPerOp: 1.5, BytesPerOp: 2, AllocsPerOp: 3, HasMem: true},
+		{Source: "BENCH_b.json", Name: "BenchmarkB", NsPerOp: 7},
+	}
+	var buf bytes.Buffer
+	if err := WriteSummary(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasSuffix(buf.Bytes(), []byte("\n")) {
+		t.Error("summary does not end with a newline")
+	}
+	var out []Row
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip lost rows: %+v", out)
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("row %d = %+v, want %+v", i, out[i], in[i])
+		}
+	}
+	buf.Reset()
+	if err := WriteSummary(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("empty summary = %q, want []", got)
+	}
+}

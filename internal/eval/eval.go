@@ -41,6 +41,10 @@ type Config struct {
 	// run budget (0 = DetectRuns). See owl.Options.
 	Explore owl.ExploreMode
 	Budget  int
+	// SnapCache is the per-stage snapshot-cache entry budget for
+	// coverage-mode exploration (0 disables prefix sharing; see
+	// owl.Options.SnapCache — results are identical either way).
+	SnapCache int
 	// PipelineWorkers bounds the owl pipeline's inner worker pool per
 	// workload (seeded detections and the verification loops). Default 1:
 	// BuildTablesParallel already fans out across workloads, so nesting
@@ -163,6 +167,7 @@ func evalApplication(w *workloads.Workload, cfg Config) (*ProgramEval, error) {
 			DetectRuns:        cfg.DetectRuns,
 			Explore:           cfg.Explore,
 			Budget:            cfg.Budget,
+			SnapCache:         cfg.SnapCache,
 			DisableVulnVerify: cfg.DisableVulnVerify,
 			Workers:           cfg.PipelineWorkers,
 			Metrics:           cfg.Metrics,

@@ -113,6 +113,12 @@ type Result struct {
 // ErrNoScheduler is returned by New when cfg.Sched is nil.
 var ErrNoScheduler = errors.New("interp: config has no scheduler")
 
+// DefaultMaxSteps is the execution bound applied when Config.MaxSteps
+// is zero. Exported so layers that reason about the bound without
+// building a machine (sched.SnapCache's resume-depth check) agree with
+// the interpreter.
+const DefaultMaxSteps = 1_000_000
+
 const funcRefBase = int64(1) << 40
 
 // Machine executes one program instance.
@@ -190,7 +196,7 @@ func New(cfg Config) (*Machine, error) {
 		cfg.Entry = "main"
 	}
 	if cfg.MaxSteps <= 0 {
-		cfg.MaxSteps = 1_000_000
+		cfg.MaxSteps = DefaultMaxSteps
 	}
 	entry := cfg.Module.Func(cfg.Entry)
 	if entry == nil {
@@ -211,6 +217,7 @@ func New(cfg Config) (*Machine, error) {
 		uid:           1000, // unprivileged by default; setuid(0) is the attack
 		rngState:      0x9e3779b97f4a7c15,
 		stackMemoStep: -1,
+		trace:         make([]ThreadID, 0, traceCap(cfg.MaxSteps)),
 	}
 	for _, o := range cfg.Observers {
 		sp, declared := o.(StackPolicy)
@@ -536,7 +543,7 @@ func (m *Machine) Step() bool {
 	if t.Status == StatusSleeping {
 		t.Status = StatusRunnable
 	}
-	m.trace = append(m.trace, t.ID)
+	m.traceAppend(t.ID)
 	in := t.Cur()
 	if in == nil {
 		m.fault(t, nil, &Fault{Kind: FaultBadCall, Msg: "fell off end of block"})
@@ -565,6 +572,31 @@ func (m *Machine) Step() bool {
 	return true
 }
 
+// traceCap picks the schedule trace's initial capacity: enough that
+// short runs never regrow, bounded so machines with a huge step budget
+// don't pre-commit memory they won't use.
+func traceCap(maxSteps int) int {
+	const presize = 2048
+	if maxSteps < presize {
+		return maxSteps
+	}
+	return presize
+}
+
+// traceAppend grows the schedule trace by doubling. The runtime's
+// append tapers its growth factor for large slices, which is the right
+// call for long-lived data but re-copies the (per-step, run-long) trace
+// so often that its cumulative allocation dominates a no-observer run;
+// doubling caps the cumulative cost at ~2x the final size.
+func (m *Machine) traceAppend(id ThreadID) {
+	if len(m.trace) == cap(m.trace) {
+		grown := make([]ThreadID, len(m.trace), 2*cap(m.trace)+64)
+		copy(grown, m.trace)
+		m.trace = grown
+	}
+	m.trace = append(m.trace, id)
+}
+
 // Run steps the machine until completion, deadlock, fault-halt, or the
 // step bound, and returns the result.
 func (m *Machine) Run() *Result {
@@ -573,14 +605,25 @@ func (m *Machine) Run() *Result {
 	return m.Result()
 }
 
-// Result snapshots the run outcome so far.
+// Result snapshots the run outcome so far. The Faults, Output, and
+// Schedule slices are read-only views sharing the machine's append-only
+// buffers: the machine never rewrites delivered entries and any append
+// past a view's clipped capacity reallocates, so the views stay stable
+// even if the machine keeps stepping — without re-copying buffers that
+// can dwarf the rest of the per-run allocation. The one path that does
+// rewrite trace history is the breakpoint suspension undo, so machines
+// with a breakpoint get a defensive schedule copy instead.
 func (m *Machine) Result() *Result {
+	schedule := m.trace[:len(m.trace):len(m.trace)]
+	if m.cfg.Breakpoint != nil {
+		schedule = append([]ThreadID(nil), m.trace...)
+	}
 	r := &Result{
 		ExitCode:    m.exitCode,
 		Steps:       m.step,
-		Faults:      append([]*Fault(nil), m.faults...),
-		Output:      append([]string(nil), m.output...),
-		Schedule:    append([]ThreadID(nil), m.trace...),
+		Faults:      m.faults[:len(m.faults):len(m.faults)],
+		Output:      m.output[:len(m.output):len(m.output)],
+		Schedule:    schedule,
 		UID:         m.uid,
 		Stall:       m.Stall(),
 		MaxStepsHit: m.step >= m.cfg.MaxSteps,
@@ -790,8 +833,7 @@ func (m *Machine) ret(t *Thread, v int64) {
 	if len(fr.Allocas) > 0 {
 		st := t.Stack()
 		for _, b := range fr.Allocas {
-			b.Freed = true
-			b.FreeStack = st
+			m.mem.Release(b, st)
 		}
 	}
 	t.Frames = t.Frames[:len(t.Frames)-1]

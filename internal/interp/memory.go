@@ -49,6 +49,12 @@ type MemBlock struct {
 	// freed, enriching use-after-free reports.
 	AllocStack callstack.Stack
 	FreeStack  callstack.Stack
+
+	// cow marks Words as shared with a snapshot image: the next write
+	// must copy the slice first. dirty marks the block as mutated since
+	// the arena's last snapshot image of it was taken.
+	cow   bool
+	dirty bool
 }
 
 // Contains reports whether addr falls inside the block's range.
@@ -130,6 +136,37 @@ func (f *Fault) Error() string {
 type Arena struct {
 	blocks []*MemBlock // sorted by Base
 	next   int64
+
+	// Copy-on-write snapshot support. tracking turns on at the first
+	// Snapshot call: from then on the arena maintains a per-block image
+	// of the last snapshot and a list of blocks dirtied since, so the
+	// next snapshot re-images only the dirty set (O(dirty), not
+	// O(heap)). Until the first snapshot none of this costs anything on
+	// the write path beyond two flag checks.
+	tracking  bool
+	images    []*blockImage // last-snapshot image per block ID; nil when stale
+	dirtyIDs  []int         // block IDs whose image entry is stale
+	cowCopied int64         // blocks ("pages") copied by copy-on-write writes
+}
+
+// blockImage is an immutable view of a MemBlock at snapshot time. words
+// is shared with the live block until either side writes (the live side
+// copies via wordsForWrite; restored machines start with cow set).
+type blockImage struct {
+	base, size int64
+	kind       BlockKind
+	name       string
+	words      []int64
+	freed      bool
+	allocStack callstack.Stack
+	freeStack  callstack.Stack
+}
+
+// ArenaSnap is a copy-on-write snapshot of an arena. It is immutable and
+// can be restored any number of times.
+type ArenaSnap struct {
+	images []*blockImage
+	next   int64
 }
 
 // ArenaBase is the lowest address the arena hands out. Addresses are
@@ -160,7 +197,36 @@ func (a *Arena) Alloc(size int64, kind BlockKind, name string, stack callstack.S
 	// overflows fault instead of silently landing in the next block.
 	a.next += size + 1
 	a.blocks = append(a.blocks, b)
+	if a.tracking {
+		b.dirty = true
+		a.images = append(a.images, nil)
+		a.dirtyIDs = append(a.dirtyIDs, b.ID)
+	}
 	return b
+}
+
+// touch records that b's snapshot image (if any) is stale.
+func (a *Arena) touch(b *MemBlock) {
+	if a.tracking && !b.dirty {
+		b.dirty = true
+		a.images[b.ID] = nil
+		a.dirtyIDs = append(a.dirtyIDs, b.ID)
+	}
+}
+
+// wordsForWrite returns b.Words ready for mutation: if the slice is
+// shared with a snapshot image it is copied first (copy-on-write), and
+// the block is marked dirty for the next snapshot.
+func (a *Arena) wordsForWrite(b *MemBlock) []int64 {
+	if b.cow {
+		w := make([]int64, len(b.Words))
+		copy(w, b.Words)
+		b.Words = w
+		b.cow = false
+		a.cowCopied++
+	}
+	a.touch(b)
+	return b.Words
 }
 
 // Find returns the block containing addr, freed or not, or nil. Lookup is
@@ -221,7 +287,7 @@ func (a *Arena) Store(addr, val int64) *Fault {
 	if f != nil {
 		return f
 	}
-	b.Words[addr-b.Base] = val
+	a.wordsForWrite(b)[addr-b.Base] = val
 	return nil
 }
 
@@ -242,7 +308,7 @@ func (a *Arena) Poke(addr, val int64) bool {
 	if b == nil {
 		return false
 	}
-	b.Words[addr-b.Base] = val
+	a.wordsForWrite(b)[addr-b.Base] = val
 	return true
 }
 
@@ -265,11 +331,101 @@ func (a *Arena) Free(addr int64, stack callstack.Stack) *Fault {
 	}
 	b.Freed = true
 	b.FreeStack = stack.Clone()
+	a.touch(b)
 	return nil
+}
+
+// Release marks a stack (alloca) block freed on scope exit. No fault
+// semantics — the interpreter owns the block — but routed through the
+// arena so snapshot dirty-tracking observes the mutation.
+func (a *Arena) Release(b *MemBlock, stack callstack.Stack) {
+	b.Freed = true
+	b.FreeStack = stack
+	a.touch(b)
 }
 
 // Blocks returns all blocks (live and freed), base-ordered.
 func (a *Arena) Blocks() []*MemBlock { return a.blocks }
+
+// Snapshot captures the arena as copy-on-write block images. The first
+// snapshot images every block; subsequent snapshots re-image only blocks
+// dirtied since the previous one. Word slices are shared between image
+// and live block until either side writes.
+func (a *Arena) Snapshot() *ArenaSnap {
+	if !a.tracking {
+		a.tracking = true
+		a.images = make([]*blockImage, len(a.blocks))
+		a.dirtyIDs = a.dirtyIDs[:0]
+		for _, b := range a.blocks {
+			b.dirty = true
+			a.dirtyIDs = append(a.dirtyIDs, b.ID)
+		}
+	}
+	for _, id := range a.dirtyIDs {
+		b := a.blocks[id]
+		b.cow = true
+		b.dirty = false
+		a.images[id] = &blockImage{
+			base: b.Base, size: b.Size, kind: b.Kind, name: b.Name,
+			words: b.Words, freed: b.Freed,
+			allocStack: b.AllocStack, freeStack: b.FreeStack,
+		}
+	}
+	a.dirtyIDs = a.dirtyIDs[:0]
+	return &ArenaSnap{images: append([]*blockImage(nil), a.images...), next: a.next}
+}
+
+// restore materializes a new arena from the snapshot. Every block shares
+// words with its image (copy-on-write on both sides), and the restored
+// arena starts fully imaged so an immediate re-snapshot is cheap.
+func (s *ArenaSnap) restore() *Arena {
+	a := &Arena{
+		next:     s.next,
+		tracking: true,
+		blocks:   make([]*MemBlock, len(s.images)),
+		images:   append([]*blockImage(nil), s.images...),
+	}
+	for id, img := range s.images {
+		a.blocks[id] = &MemBlock{
+			ID: id, Base: img.base, Size: img.size, Words: img.words,
+			Kind: img.kind, Name: img.name, Freed: img.freed,
+			AllocStack: img.allocStack, FreeStack: img.freeStack,
+			cow: true,
+		}
+	}
+	return a
+}
+
+// CowPagesCopied reports how many blocks were copied by copy-on-write
+// writes since the arena was created (or restored).
+func (a *Arena) CowPagesCopied() int64 { return a.cowCopied }
+
+// Fingerprint hashes the arena's observable state (block geometry, freed
+// flags, words) with FNV-1a: equal states hash equal. Used by the
+// snapshot-fidelity tests to compare restored and from-scratch machines.
+func (a *Arena) Fingerprint() uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v int64) {
+		h ^= uint64(v)
+		h *= 1099511628211
+	}
+	for _, b := range a.blocks {
+		mix(int64(b.ID))
+		mix(b.Base)
+		mix(b.Size)
+		mix(int64(b.Kind))
+		if b.Freed {
+			mix(1)
+		} else {
+			mix(0)
+		}
+		for _, w := range b.Words {
+			mix(w)
+		}
+	}
+	mix(a.next)
+	return h
+}
 
 // NameFor returns a human label for an address: "@global+off" or
 // "heapname+off", falling back to hex.

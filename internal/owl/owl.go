@@ -87,6 +87,15 @@ type Options struct {
 	// random arm replay the fixed-mode seed sequence 1,2,3,...).
 	Seed uint64
 
+	// SnapCache, when > 0, gives each coverage-guided detect stage a
+	// bounded copy-on-write snapshot cache of that many entries: the DFS
+	// strategy's systematic schedules resume from the deepest cached
+	// decision-prefix ancestor instead of replaying it from step 0.
+	// Results, reports, coverage, and counters stay byte-identical with
+	// the cache on or off (only the sched.snap_* / interp.cow_* counters
+	// themselves appear); 0 disables snapshotting. Ignored in fixed mode.
+	SnapCache int
+
 	// DisableAdhoc skips step 2; DisableRaceVerify skips step 3;
 	// DisableVulnVerify skips step 5.
 	DisableAdhoc      bool
@@ -267,7 +276,7 @@ func Run(p Program, opts Options) (*Result, error) {
 	// given stage's supervision.
 	runDetect := func(st *supervise.StageRun, benign *race.Annotations) []*race.Report {
 		if opts.Explore == ExploreCoverage {
-			reports, runs := detectCoverage(p, st, budget, workers, benign, opts.Seed, mc)
+			reports, runs := detectCoverage(p, st, budget, workers, benign, opts.Seed, opts.SnapCache, mc)
 			mc.Count("owl.detect_runs", int64(runs))
 			return reports
 		}
@@ -399,7 +408,7 @@ func Run(p Program, opts Options) (*Result, error) {
 	if opts.EnableAtomicity {
 		st = sup.Stage("owl.atomicity")
 		if opts.Explore == ExploreCoverage {
-			res.AtomicityReports = detectAtomicityCoverage(p, st, budget, workers, opts.Seed, mc)
+			res.AtomicityReports = detectAtomicityCoverage(p, st, budget, workers, opts.Seed, opts.SnapCache, mc)
 		} else {
 			res.AtomicityReports = detectAtomicity(p, st, detectRuns, workers, mc)
 		}
@@ -571,8 +580,12 @@ func detect(p Program, st *supervise.StageRun, runs, workers int, benign *race.A
 // the result is byte-identical for any worker count. Fault-injection run
 // indices count globally across rounds. It returns the merged reports
 // and the number of runs actually spent.
-func detectCoverage(p Program, st *supervise.StageRun, budget, workers int, benign *race.Annotations, seed uint64, mc *metrics.Collector) ([]*race.Report, int) {
-	eng := sched.NewEngine(sched.EngineConfig{Budget: budget, Seed: seed, PCTSteps: p.MaxSteps})
+func detectCoverage(p Program, st *supervise.StageRun, budget, workers int, benign *race.Annotations, seed uint64, snapEntries int, mc *metrics.Collector) ([]*race.Report, int) {
+	var snap *sched.SnapCache
+	if snapEntries > 0 {
+		snap = sched.NewSnapCache(snapEntries)
+	}
+	eng := sched.NewEngine(sched.EngineConfig{Budget: budget, Seed: seed, PCTSteps: p.MaxSteps, Snap: snap})
 	merged := map[string]*race.Report{}
 	var order []*race.Report
 	base := 0
@@ -586,16 +599,16 @@ func detectCoverage(p Program, st *supervise.StageRun, budget, workers int, beni
 			j := jobs[i]
 			d := race.NewDetector()
 			d.Benign = benign
-			m, err := interp.New(interp.Config{
+			m, err := j.Run(interp.Config{
 				Module: p.Module, Entry: p.Entry, Args: p.Args, Inputs: p.Inputs,
 				MaxSteps: st.StepBudget(idx, p.MaxSteps), Sched: j.Sched,
 				Observers:       []interp.Observer{d},
 				SwitchObservers: []interp.SwitchObserver{j.Cov},
 			})
 			if err != nil {
-				return fmt.Errorf("build machine: %w", err)
+				return fmt.Errorf("run machine: %w", err)
 			}
-			if m.Run().MaxStepsHit {
+			if m.Result().MaxStepsHit {
 				mc.Count("interp.max_steps_hit", 1)
 			}
 			d.FlushMetrics(mc)
@@ -621,13 +634,18 @@ func detectCoverage(p Program, st *supervise.StageRun, budget, workers int, beni
 		return nil
 	})
 	flushEngineMetrics(res, mc)
+	flushSnapMetrics(snap, mc)
 	return order, res.Runs
 }
 
 // detectAtomicityCoverage is detectCoverage for the CTrigger-style
 // atomicity detector.
-func detectAtomicityCoverage(p Program, st *supervise.StageRun, budget, workers int, seed uint64, mc *metrics.Collector) []*atomicity.Report {
-	eng := sched.NewEngine(sched.EngineConfig{Budget: budget, Seed: seed, PCTSteps: p.MaxSteps})
+func detectAtomicityCoverage(p Program, st *supervise.StageRun, budget, workers int, seed uint64, snapEntries int, mc *metrics.Collector) []*atomicity.Report {
+	var snap *sched.SnapCache
+	if snapEntries > 0 {
+		snap = sched.NewSnapCache(snapEntries)
+	}
+	eng := sched.NewEngine(sched.EngineConfig{Budget: budget, Seed: seed, PCTSteps: p.MaxSteps, Snap: snap})
 	merged := map[string]*atomicity.Report{}
 	var order []*atomicity.Report
 	base := 0
@@ -640,16 +658,16 @@ func detectAtomicityCoverage(p Program, st *supervise.StageRun, budget, workers 
 			i := idx - base
 			j := jobs[i]
 			d := atomicity.NewDetector()
-			m, err := interp.New(interp.Config{
+			m, err := j.Run(interp.Config{
 				Module: p.Module, Entry: p.Entry, Args: p.Args, Inputs: p.Inputs,
 				MaxSteps: st.StepBudget(idx, p.MaxSteps), Sched: j.Sched,
 				Observers:       []interp.Observer{d},
 				SwitchObservers: []interp.SwitchObserver{j.Cov},
 			})
 			if err != nil {
-				return fmt.Errorf("build machine: %w", err)
+				return fmt.Errorf("run machine: %w", err)
 			}
-			if m.Run().MaxStepsHit {
+			if m.Result().MaxStepsHit {
 				mc.Count("interp.max_steps_hit", 1)
 			}
 			perJob[i] = d.Reports()
@@ -674,6 +692,7 @@ func detectAtomicityCoverage(p Program, st *supervise.StageRun, budget, workers 
 		return nil
 	})
 	flushEngineMetrics(res, mc)
+	flushSnapMetrics(snap, mc)
 	return order
 }
 
@@ -693,6 +712,23 @@ func flushEngineMetrics(res *sched.EngineResult, mc *metrics.Collector) {
 		mc.Count("sched.hits."+s.String(), int64(st.NewReports))
 		mc.Count("sched.cov."+s.String(), int64(st.NewCoverage))
 	}
+}
+
+// flushSnapMetrics threads one stage's snapshot-cache accounting into
+// the collector. These are the only counters allowed to differ between
+// snapshotting on and off; everything else the pipeline emits is
+// covered by the byte-identical determinism gate.
+func flushSnapMetrics(snap *sched.SnapCache, mc *metrics.Collector) {
+	if snap == nil {
+		return
+	}
+	st := snap.Stats()
+	mc.Count("sched.snap_hits", st.Hits)
+	mc.Count("sched.snap_misses", st.Misses)
+	mc.Count("sched.snap_stores", st.Stores)
+	mc.Count("sched.snap_evictions", st.Evictions)
+	mc.Count("sched.snap_resume_steps_saved", st.StepsSaved)
+	mc.Count("interp.cow_pages_copied", st.CowPages)
 }
 
 // factory builds verification machines for the program.

@@ -1,0 +1,116 @@
+package race
+
+import (
+	"github.com/conanalysis/owl/internal/ir"
+	"github.com/conanalysis/owl/internal/vclock"
+)
+
+// Snapshot is an immutable copy of a detector's dynamic state: thread
+// and lock clocks, the shadow table (including read-shared vectors),
+// deduplicated reports with their dynamic counts, and the hot-path
+// counters. Benign annotations are run configuration, not state, and
+// are not captured. A snapshot can be restored any number of times;
+// paired with interp.Snapshot it lets schedule exploration fork a run —
+// detector included — at a decision point instead of replaying from
+// step 0.
+type Snapshot struct {
+	vcs     []*vclock.VC
+	locks   map[int64]*vclock.VC
+	slots   []shadowSlot
+	low     map[int64]shadowSlot
+	reports []Report
+	stats   Stats
+}
+
+func copyVC(v *vclock.VC) *vclock.VC {
+	if v == nil {
+		return nil
+	}
+	return v.Copy()
+}
+
+func copySlots(src []shadowSlot) []shadowSlot {
+	dst := append([]shadowSlot(nil), src...)
+	for i := range dst {
+		if len(dst[i].shared) > 0 {
+			dst[i].shared = append([]readEntry(nil), dst[i].shared...)
+		}
+	}
+	return dst
+}
+
+// SnapshotState captures the detector's state; the return value
+// satisfies the any-typed contract of sched.StateForker without this
+// package importing sched.
+func (d *Detector) SnapshotState() any {
+	s := &Snapshot{
+		vcs:     make([]*vclock.VC, len(d.vcs)),
+		locks:   make(map[int64]*vclock.VC, len(d.locks)),
+		slots:   copySlots(d.slots),
+		reports: make([]Report, len(d.order)),
+		stats:   d.stats,
+	}
+	for i, v := range d.vcs {
+		s.vcs[i] = copyVC(v)
+	}
+	for a, v := range d.locks {
+		s.locks[a] = copyVC(v)
+	}
+	if d.low != nil {
+		s.low = make(map[int64]shadowSlot, len(d.low))
+		for a, sl := range d.low {
+			c := *sl
+			if len(c.shared) > 0 {
+				c.shared = append([]readEntry(nil), c.shared...)
+			}
+			s.low[a] = c
+		}
+	}
+	for i, r := range d.order {
+		s.reports[i] = *r
+	}
+	return s
+}
+
+// RestoreState replaces the detector's dynamic state with the
+// snapshot's (Benign is left as configured). It reports false when the
+// value is not a race snapshot.
+func (d *Detector) RestoreState(state any) bool {
+	s, ok := state.(*Snapshot)
+	if !ok {
+		return false
+	}
+	d.vcs = make([]*vclock.VC, len(s.vcs))
+	for i, v := range s.vcs {
+		d.vcs[i] = copyVC(v)
+	}
+	d.locks = make(map[int64]*vclock.VC, len(s.locks))
+	for a, v := range s.locks {
+		d.locks[a] = copyVC(v)
+	}
+	d.slots = copySlots(s.slots)
+	d.low = nil
+	if s.low != nil {
+		d.low = make(map[int64]*shadowSlot, len(s.low))
+		for a, sl := range s.low {
+			c := sl
+			if len(c.shared) > 0 {
+				c.shared = append([]readEntry(nil), c.shared...)
+			}
+			d.low[a] = &c
+		}
+	}
+	// Reports are mutable (Count grows on dedup hits), so each restore
+	// materializes fresh Report values and rebuilds both pair-key
+	// orderings exactly as report() installed them.
+	d.order = make([]*Report, len(s.reports))
+	d.byPair = make(map[[2]*ir.Instr]*Report, 2*len(s.reports))
+	for i := range s.reports {
+		r := s.reports[i]
+		d.order[i] = &r
+		d.byPair[[2]*ir.Instr{r.Prev.Instr, r.Cur.Instr}] = &r
+		d.byPair[[2]*ir.Instr{r.Cur.Instr, r.Prev.Instr}] = &r
+	}
+	d.stats = s.stats
+	return true
+}

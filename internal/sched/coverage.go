@@ -75,3 +75,51 @@ func (rc *RunCoverage) OnSwitch(m *interp.Machine, from, to interp.ThreadID, fro
 
 // Len returns the number of distinct pairs this run observed.
 func (rc *RunCoverage) Len() int { return len(rc.pairs) }
+
+// covSnap is the captured pair set of a Coverage or RunCoverage.
+type covSnap struct {
+	pairs map[covKey]struct{}
+}
+
+func copyPairs(src map[covKey]struct{}) map[covKey]struct{} {
+	dst := make(map[covKey]struct{}, len(src))
+	for k := range src {
+		dst[k] = struct{}{}
+	}
+	return dst
+}
+
+// SnapshotState implements StateForker: a run resumed from a machine
+// snapshot must start with exactly the switch pairs the shared prefix
+// observed, or coverage scoring would depend on whether a prefix was
+// replayed or restored.
+func (rc *RunCoverage) SnapshotState() any {
+	return &covSnap{pairs: copyPairs(rc.pairs)}
+}
+
+// RestoreState implements StateForker.
+func (rc *RunCoverage) RestoreState(state any) bool {
+	s, ok := state.(*covSnap)
+	if !ok {
+		return false
+	}
+	rc.pairs = copyPairs(s.pairs)
+	return true
+}
+
+// Snapshot captures the global coverage map (same copy-on-restore
+// contract as RunCoverage.SnapshotState; exposed for forked explorations
+// and tests).
+func (c *Coverage) Snapshot() any {
+	return &covSnap{pairs: copyPairs(c.pairs)}
+}
+
+// Restore replaces the map with a Snapshot's content.
+func (c *Coverage) Restore(state any) bool {
+	s, ok := state.(*covSnap)
+	if !ok {
+		return false
+	}
+	c.pairs = copyPairs(s.pairs)
+	return true
+}

@@ -66,7 +66,18 @@ type Job struct {
 	// ReportIDs is filled by the runner.
 	ReportIDs []string
 
-	node ipbNode // DFS jobs: the decision prefix this job executes
+	node ipbNode    // DFS jobs: the decision prefix this job executes
+	snap *SnapCache // DFS jobs: prefix-sharing resume cache (nil: replay)
+}
+
+// Run executes the job's schedule to completion and returns the
+// machine. cfg must carry the job's Sched (plus the run's observers and
+// coverage recorder); DFS jobs attached to a snapshot cache resume from
+// the deepest cached decision-prefix ancestor, everything else runs
+// from step 0. Runners that need finer control may keep driving
+// machines themselves — Run is the cache-aware convenience path.
+func (j *Job) Run(cfg interp.Config) (*interp.Machine, error) {
+	return j.snap.RunMachine(cfg)
 }
 
 // EngineConfig tunes an exploration. The zero value of every field gets a
@@ -89,6 +100,13 @@ type EngineConfig struct {
 	// PCTSteps is the step horizon PCT scatters its d-1 priority-change
 	// points over (default 4096; callers pass the program's MaxSteps).
 	PCTSteps int
+	// Snap, when non-nil, attaches a prefix-sharing snapshot cache to the
+	// DFS strategy's jobs: runners using Job.Run resume each systematic
+	// schedule from the deepest cached ancestor instead of replaying its
+	// prefix. Exploration decisions and results are unaffected (snapshot
+	// fidelity makes a resumed run byte-identical to a from-scratch run);
+	// only wall-clock work shrinks.
+	Snap *SnapCache
 }
 
 func (c EngineConfig) withDefaults() EngineConfig {
@@ -99,7 +117,7 @@ func (c EngineConfig) withDefaults() EngineConfig {
 		c.Saturation = 2
 	}
 	if c.MaxDecisions <= 0 {
-		c.MaxDecisions = 12
+		c.MaxDecisions = DefaultMaxDecisions
 	}
 	if c.PCTDepth <= 0 {
 		c.PCTDepth = 3
@@ -152,6 +170,7 @@ type Engine struct {
 // NewEngine returns an engine for one exploration.
 func NewEngine(cfg EngineConfig) *Engine {
 	cfg = cfg.withDefaults()
+	cfg.Snap.EnsureDepth(cfg.MaxDecisions)
 	return &Engine{
 		cfg:      cfg,
 		cov:      NewCoverage(),
@@ -311,6 +330,7 @@ func (e *Engine) buildJobs(alloc [numStrategies]int) []*Job {
 			Sched:    &DecisionSched{Decisions: node.vec},
 			Cov:      e.cov.NewRun(),
 			node:     node,
+			snap:     e.cfg.Snap,
 		})
 	}
 	return jobs

@@ -40,6 +40,40 @@ type DecisionSched struct {
 	hasLast bool
 }
 
+// DecisionState is the resumable state of a DecisionSched at a decision
+// boundary. It pairs with an interp.Snapshot taken at the same step so
+// prefix-sharing exploration (SnapCache) can resume a sibling schedule
+// from the deepest cached ancestor instead of replaying from step 0.
+type DecisionState struct {
+	Trace       []Decision
+	Preemptions int
+	LastTID     interp.ThreadID
+	HasLast     bool
+}
+
+// State captures the scheduler's position. The Trace slice is clipped,
+// so later appends by either side don't alias.
+func (s *DecisionSched) State() DecisionState {
+	return DecisionState{
+		Trace:       s.Trace[:len(s.Trace):len(s.Trace)],
+		Preemptions: s.Preemptions,
+		LastTID:     s.lastTID,
+		HasLast:     s.hasLast,
+	}
+}
+
+// SetState positions the scheduler at a captured decision boundary,
+// keeping its Decisions vector: the next decision point consumed is the
+// one at depth len(st.Trace). The captured state must come from an
+// execution whose Chosen prefix matches this scheduler's Decisions
+// (which is exactly what SnapCache's prefix keying guarantees).
+func (s *DecisionSched) SetState(st DecisionState) {
+	s.Trace = st.Trace
+	s.pos = len(st.Trace)
+	s.Preemptions = st.Preemptions
+	s.lastTID, s.hasLast = st.LastTID, st.HasLast
+}
+
 // Next implements interp.Scheduler.
 func (s *DecisionSched) Next(runnable []interp.ThreadID, step int) interp.ThreadID {
 	if len(runnable) == 1 {
@@ -88,7 +122,17 @@ type Explorer struct {
 	MaxRuns int
 	// MaxDecisions bounds the branching depth explored (default 12).
 	MaxDecisions int
+	// Snap, when non-nil, lets ExploreIPBRun resume each schedule from
+	// the deepest snapshotted ancestor prefix instead of replaying it
+	// from step 0. Exploration order and results are unaffected (see
+	// SnapCache); only the work per run shrinks.
+	Snap *SnapCache
 }
+
+// DefaultMaxDecisions is the branching-depth bound used when a caller
+// leaves MaxDecisions at zero (Explorer, EngineConfig, ipbFrontier, and
+// SnapCache all share it so prefix keys and frontier depths agree).
+const DefaultMaxDecisions = 12
 
 // ExploreResult summarizes an exploration.
 type ExploreResult struct {
@@ -107,7 +151,7 @@ func (e *Explorer) Explore(mkRun func(s interp.Scheduler) error) (ExploreResult,
 	}
 	maxDec := e.MaxDecisions
 	if maxDec <= 0 {
-		maxDec = 12
+		maxDec = DefaultMaxDecisions
 	}
 
 	stack := [][]int{{}}
@@ -207,7 +251,7 @@ type ipbFrontier struct {
 
 func newIPBFrontier(maxDec int) *ipbFrontier {
 	if maxDec <= 0 {
-		maxDec = 12
+		maxDec = DefaultMaxDecisions
 	}
 	f := &ipbFrontier{maxDec: maxDec, buckets: map[int][]ipbNode{}}
 	f.push(ipbNode{})

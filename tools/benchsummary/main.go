@@ -1,0 +1,58 @@
+// benchsummary folds the repo's BENCH_*.json test2json streams into
+// BENCH_summary.json (see internal/benchfmt). It lives under tools/ —
+// run via `make bench-summary` — to keep the repo's command surface
+// (cmd/owl, cmd/owl-tables) limited to the pipeline itself.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/conanalysis/owl/internal/benchfmt"
+)
+
+func main() {
+	out := flag.String("out", "BENCH_summary.json", "summary output path")
+	flag.Parse()
+
+	paths := flag.Args()
+	if len(paths) == 0 {
+		var err error
+		paths, err = filepath.Glob("BENCH_*.json")
+		if err != nil {
+			fatal(err)
+		}
+	}
+	// Never fold a previous summary back into itself.
+	in := paths[:0]
+	for _, p := range paths {
+		if filepath.Base(p) == filepath.Base(*out) || strings.HasPrefix(filepath.Base(p), "BENCH_summary") {
+			continue
+		}
+		in = append(in, p)
+	}
+	rows, err := benchfmt.Summarize(in)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := benchfmt.WriteSummary(f, rows); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchsummary: %d rows from %d streams -> %s\n", len(rows), len(in), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchsummary:", err)
+	os.Exit(1)
+}
