@@ -1,8 +1,9 @@
 # Tier-1 gate and benchmark targets for the OWL reproduction.
 #
-#   make ci              build + vet + test -race + faults (the tier-1 gate)
+#   make ci              build + vet + test -race + faults + predict (the tier-1 gate)
 #   make test            plain test run
 #   make faults          fault-injection suite under -race + canned-plan CLI runs
+#   make predict         predictor suites under -race + confirm-differential gate
 #   make fmt-check       fail if any file needs gofmt (CI lint job)
 #   make golden          diff `owl-tables -stable` against the committed fixture
 #   make golden-update   refresh the fixture after an intentional output change
@@ -11,16 +12,17 @@
 #   make bench-pipeline  parallel-speedup ablation -> BENCH_pipeline.json
 #   make bench-detector  race-detector ablation    -> BENCH_detector.json
 #   make bench-explore   exploration ablation      -> BENCH_explore.json
+#   make bench-predict   prediction ablation       -> BENCH_predict.json
 #   make bench-summary   fold BENCH_*.json streams -> BENCH_summary.json
 
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: ci build vet test race faults fmt-check golden golden-update \
+.PHONY: ci build vet test race faults predict fmt-check golden golden-update \
 	bench bench-smoke bench-pipeline bench-detector bench-explore \
-	bench-summary clean
+	bench-predict bench-summary clean
 
-ci: build vet race faults
+ci: build vet race faults predict
 
 build:
 	$(GO) build ./...
@@ -56,6 +58,18 @@ faults:
 	$(GO) run ./cmd/owl -workload libsafe \
 		-faults testdata/faults/max-steps-squeeze.json > /dev/null
 	@echo "fault-injection gate passed"
+
+# Prediction gate (docs/PREDICTION.md): the predictor, recorder, and
+# confirmation suites under -race (vclock rides along for the epoch
+# range guards the predictor leans on), then the pipeline-level predict
+# tests — including the confirm-differential gate asserting every
+# confirmed prediction is also reported by plain exploration at 4x the
+# budget (zero confirmed false positives) and the determinism gate
+# across worker counts and snapshot-cache settings.
+predict:
+	$(GO) test -race -count=1 ./internal/predict/ ./internal/vclock/
+	$(GO) test -race -count=1 ./internal/owl/ -run 'Predict'
+	@echo "prediction gate passed"
 
 fmt-check:
 	@out="$$($(GOFMT) -l .)"; if [ -n "$$out" ]; then \
@@ -110,6 +124,15 @@ bench-explore:
 	$(GO) test -json -run '^$$' -bench 'BenchmarkExploration' -benchtime 1x . > BENCH_explore.json
 	@sed -n 's/.*"Output":"\(.*\)"}$$/\1/p' BENCH_explore.json | tr -d '\n' | xargs -0 printf '%b' | grep -E 'Benchmark.*op' || true
 
+# Prediction ablation (docs/PREDICTION.md): plain coverage-guided
+# exploration vs predict-then-confirm at the same run budget on the same
+# corpus as bench-explore. The benchmark asserts the acceptance gate
+# (prediction finds >= races per workload while executing measurably
+# fewer schedules). The -json stream lands in BENCH_predict.json.
+bench-predict:
+	$(GO) test -json -run '^$$' -bench 'BenchmarkPrediction' -benchtime 1x . > BENCH_predict.json
+	@sed -n 's/.*"Output":"\(.*\)"}$$/\1/p' BENCH_predict.json | tr -d '\n' | xargs -0 printf '%b' | grep -E 'Benchmark.*op' || true
+
 # Distill whatever BENCH_*.json test2json streams exist into one
 # machine-readable BENCH_summary.json: {source, name, ns/op, B/op,
 # allocs/op} rows (internal/benchfmt). CI runs it after the bench
@@ -119,4 +142,5 @@ bench-summary:
 
 clean:
 	rm -f BENCH_pipeline.json BENCH_detector.json BENCH_explore.json \
-		BENCH_smoke.json BENCH_summary.json BENCH_golden_actual.txt
+		BENCH_predict.json BENCH_smoke.json BENCH_summary.json \
+		BENCH_golden_actual.txt

@@ -358,6 +358,92 @@ func BenchmarkExploration(b *testing.B) {
 	}
 }
 
+// BenchmarkPrediction is the predictive-detection ablation behind
+// `make bench-predict`: plain coverage-guided exploration versus
+// predict-then-confirm at the same run budget on the same application
+// corpus as BenchmarkExploration, pure detection only. Prediction spends
+// roughly half the budget on seed schedules, reads candidate race pairs
+// out of their traces, and spends executions only on steered replays
+// confirming them — so it must find at least as many races per workload
+// while executing measurably fewer schedules in total. Both quantities
+// are asserted here and land in BENCH_predict.json for the perf record.
+// Run with -benchtime=1x.
+func BenchmarkPrediction(b *testing.B) {
+	const budget = 24
+	detectOnly := owl.Options{
+		DetectRuns: budget, Budget: budget,
+		DisableAdhoc: true, DisableRaceVerify: true, DisableVulnVerify: true,
+	}
+	type arm struct {
+		name    string
+		predict bool
+	}
+	races := map[string]map[string]int{}
+	runsSpent := map[string]int{}
+	saved := map[string]int{}
+	for _, a := range []arm{{"coverage", false}, {"predict", true}} {
+		b.Run(a.name, func(b *testing.B) {
+			var perWL map[string]int
+			var runs, sv int
+			for i := 0; i < b.N; i++ {
+				perWL, runs, sv = map[string]int{}, 0, 0
+				for _, w := range explorationWorkloads() {
+					rec := w.Recipe(w.Attacks[0].InputRecipe)
+					mc := metrics.New()
+					opts := detectOnly
+					opts.Metrics = mc
+					if a.predict {
+						opts.Predict, opts.PredictReversal = true, true
+					} else {
+						opts.Explore = owl.ExploreCoverage
+					}
+					res, err := owl.Run(owl.Program{
+						Module: w.Module, Entry: w.Entry, Inputs: rec.Inputs, MaxSteps: w.MaxSteps,
+					}, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					perWL[w.Name] = len(res.Raw)
+					for _, c := range mc.Snapshot().Counters {
+						switch c.Name {
+						case "owl.detect_runs":
+							runs += int(c.Value)
+						case "predict.schedules_saved":
+							sv += int(c.Value)
+						}
+					}
+				}
+			}
+			total := 0
+			for _, n := range perWL {
+				total += n
+			}
+			b.ReportMetric(float64(total), "races")
+			b.ReportMetric(float64(runs), "runs")
+			races[a.name] = perWL
+			runsSpent[a.name] = runs
+			saved[a.name] = sv
+		})
+	}
+	plain, pred := races["coverage"], races["predict"]
+	if plain == nil || pred == nil {
+		return // sub-benchmark filtered out; nothing to compare
+	}
+	for name, np := range plain {
+		if pred[name] < np {
+			b.Errorf("%s: predict-then-confirm found %d races, plain coverage found %d at equal budget",
+				name, pred[name], np)
+		}
+	}
+	if runsSpent["predict"] >= runsSpent["coverage"] {
+		b.Errorf("prediction spent %d schedules, plain coverage spent %d — no execution saving",
+			runsSpent["predict"], runsSpent["coverage"])
+	}
+	if saved["predict"] <= 0 {
+		b.Errorf("predict.schedules_saved = %d, want > 0", saved["predict"])
+	}
+}
+
 // BenchmarkAuditScope measures the paper's §7.2 application: restricting
 // runtime auditing to OWL-identified vulnerable paths. Reports the
 // fraction of events the scope filters out versus a full monitor.

@@ -7,7 +7,8 @@
 // Usage:
 //
 //	owl-tables [-table all|1|2|3|4] [-noise full|light] [-workers N] [-metrics out.json]
-//	owl-tables [-explore fixed|coverage] [-budget N] [-stable]
+//	owl-tables [-explore fixed|coverage] [-budget N] [-seed N] [-stable]
+//	owl-tables [-predict [-predict-reversal]] [-max-steps N] [-fail-fast=false]
 //
 // -stable elides the non-deterministic timing fields so the output can be
 // diffed byte-for-byte against the committed golden fixture (make golden).
@@ -18,10 +19,9 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/conanalysis/owl/internal/cliflags"
 	"github.com/conanalysis/owl/internal/eval"
-	"github.com/conanalysis/owl/internal/faultinject"
 	"github.com/conanalysis/owl/internal/metrics"
-	"github.com/conanalysis/owl/internal/owl"
 	"github.com/conanalysis/owl/internal/report"
 	"github.com/conanalysis/owl/internal/workloads"
 )
@@ -33,60 +33,70 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+// flags builds the binary's flag set: the shared set (cliflags) plus the
+// tables-only flags. Split out so the parity test can inspect it.
+func flags() (*flag.FlagSet, *cliflags.Shared, *ownFlags) {
 	fs := flag.NewFlagSet("owl-tables", flag.ContinueOnError)
-	var (
-		table      = fs.String("table", "all", "which table to print: all, 1, 2, 3, 4")
-		noise      = fs.String("noise", "full", "workload noise level: light or full")
-		workers    = fs.Int("workers", 0, "parallel workload evaluations (0 = NumCPU)")
-		metricsOut = fs.String("metrics", "", `write per-stage metrics JSON to this file ("-" = stdout)`)
-		explore    = fs.String("explore", "fixed", "detect-stage schedule exploration: fixed or coverage")
-		budget     = fs.Int("budget", 0, "run budget for -explore=coverage (0 = detect runs)")
-		snapCache  = fs.Int("snap-cache", 0, "snapshot-cache entries per coverage stage for prefix-sharing exploration (0 = off)")
-		stable     = fs.Bool("stable", false, "deterministic output: elide timing fields (golden-fixture mode)")
-		stageTO    = fs.Duration("stage-timeout", 0, "per-stage deadline inside each workload's pipeline (0 = none)")
-		retries    = fs.Int("retries", 0, "extra attempts a faulted pipeline run gets before quarantine")
-		faultsPath = fs.String("faults", "", "deterministic fault-injection plan JSON (see docs/ROBUSTNESS.md)")
-	)
+	shared := cliflags.Register(fs, cliflags.Defaults{
+		Noise:        "full",
+		Workers:      0,
+		WorkersUsage: "parallel workload evaluations (0 = NumCPU)",
+		// The tables pipeline fails fast by default: a degraded stage would
+		// silently skew a table row (see eval.Config.AllowDegraded).
+		FailFast: true,
+	})
+	own := &ownFlags{
+		table:  fs.String("table", "all", "which table to print: all, 1, 2, 3, 4"),
+		stable: fs.Bool("stable", false, "deterministic output: elide timing fields (golden-fixture mode)"),
+	}
+	return fs, shared, own
+}
+
+type ownFlags struct {
+	table  *string
+	stable *bool
+}
+
+func run(args []string) error {
+	fs, shared, own := flags()
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	lvl := workloads.NoiseFull
-	if *noise == "light" {
+	if shared.Noise == "light" {
 		lvl = workloads.NoiseLight
 	}
-	mode := owl.ExploreMode(*explore)
-	if mode != owl.ExploreFixed && mode != owl.ExploreCoverage {
-		return fmt.Errorf("unknown -explore mode %q (want fixed or coverage)", *explore)
-	}
-	var mc *metrics.Collector
-	if *metricsOut != "" {
-		mc = metrics.New()
-	}
-
-	var plan *faultinject.Plan
-	if *faultsPath != "" {
-		var err error
-		plan, err = faultinject.Load(*faultsPath)
-		if err != nil {
-			return err
-		}
-	}
-
-	fmt.Printf("building tables (noise=%s)...\n\n", *noise)
-	t, err := eval.BuildTablesParallel(eval.Config{
-		Noise: lvl, Metrics: mc, Explore: mode, Budget: *budget, SnapCache: *snapCache,
-		StageTimeout: *stageTO, Retries: *retries, Faults: plan,
-	}, *workers)
+	mode, err := shared.Mode()
 	if err != nil {
 		return err
 	}
-	t.Stable = *stable
-	if err := emitMetrics(mc, *metricsOut); err != nil {
+	var mc *metrics.Collector
+	if shared.MetricsOut != "" {
+		mc = metrics.New()
+	}
+
+	plan, err := shared.Plan()
+	if err != nil {
 		return err
 	}
 
-	show := func(n string) bool { return *table == "all" || *table == n }
+	fmt.Printf("building tables (noise=%s)...\n\n", shared.Noise)
+	t, err := eval.BuildTablesParallel(eval.Config{
+		Noise: lvl, Metrics: mc, Explore: mode, Budget: shared.Budget,
+		Seed: shared.Seed, SnapCache: shared.SnapCache, MaxSteps: shared.MaxSteps,
+		Predict: shared.Predict, PredictReversal: shared.PredictReversal,
+		StageTimeout: shared.StageTimeout, Retries: shared.Retries, Faults: plan,
+		AllowDegraded: !shared.FailFast,
+	}, shared.Workers)
+	if err != nil {
+		return err
+	}
+	t.Stable = *own.stable
+	if err := emitMetrics(mc, shared.MetricsOut); err != nil {
+		return err
+	}
+
+	show := func(n string) bool { return *own.table == "all" || *own.table == n }
 	if show("1") {
 		fmt.Println("Table 1: Concurrency attacks study results")
 		fmt.Print(report.Table(t.Table1()))
@@ -109,7 +119,7 @@ func run(args []string) error {
 		fmt.Print(report.Table(t.Table4()))
 		fmt.Println()
 	}
-	if !*stable {
+	if !*own.stable {
 		fmt.Printf("total evaluation time: %s\n", t.Elapsed.Round(1e8))
 	}
 	return nil

@@ -8,6 +8,7 @@
 //
 //	owl -workload libsafe [-recipe attack] [-noise light|full] [-workers 4] [-v]
 //	owl -workload mysql -explore coverage -budget 32 [-seed 7]
+//	owl -workload libsafe -predict [-predict-reversal] -budget 16 [-seed 7]
 //	owl -file prog.oir [-inputs 1,2,3] [-v]
 //	owl -workload ssdb -metrics - [-workers 0]
 //	owl -workload libsafe -faults plan.json [-stage-timeout 30s] [-retries 1] [-fail-fast]
@@ -22,7 +23,7 @@ import (
 	"strconv"
 	"strings"
 
-	"github.com/conanalysis/owl/internal/faultinject"
+	"github.com/conanalysis/owl/internal/cliflags"
 	"github.com/conanalysis/owl/internal/ir"
 	"github.com/conanalysis/owl/internal/metrics"
 	"github.com/conanalysis/owl/internal/owl"
@@ -37,34 +38,39 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+// flags builds the binary's flag set: the shared set (cliflags) plus the
+// owl-only flags. Split out so the parity test can inspect it.
+func flags() (*flag.FlagSet, *cliflags.Shared, *ownFlags) {
 	fs := flag.NewFlagSet("owl", flag.ContinueOnError)
-	var (
-		workload   = fs.String("workload", "", "built-in workload to analyze (see -list)")
-		recipe     = fs.String("recipe", "", "input recipe (default: first attack recipe)")
-		file       = fs.String("file", "", ".oir program to analyze instead of a workload")
-		inputsFlag = fs.String("inputs", "", "comma-separated input words for -file")
-		noise      = fs.String("noise", "light", "workload noise level: light or full")
-		detectRuns = fs.Int("runs", 8, "seeded detection executions")
-		explore    = fs.String("explore", "fixed", "detect-stage schedule exploration: fixed or coverage")
-		budget     = fs.Int("budget", 0, "run budget for -explore=coverage (0 = same as -runs)")
-		seed       = fs.Uint64("seed", 0, "base seed for -explore=coverage")
-		snapCache  = fs.Int("snap-cache", 0, "snapshot-cache entries per coverage stage for prefix-sharing exploration (0 = off)")
-		workers    = fs.Int("workers", 1, "pipeline worker pool size (0 = NumCPU, 1 = sequential)")
-		metricsOut = fs.String("metrics", "", `write per-stage metrics JSON to this file ("-" = stdout)`)
-		maxSteps   = fs.Int("max-steps", 0, "interpreter step budget per run (0 = program default)")
-		stageTO    = fs.Duration("stage-timeout", 0, "per-stage deadline; an overrunning stage degrades (0 = none)")
-		retries    = fs.Int("retries", 0, "extra attempts a faulted run gets before quarantine")
-		faultsPath = fs.String("faults", "", "deterministic fault-injection plan JSON (see docs/ROBUSTNESS.md)")
-		failFast   = fs.Bool("fail-fast", false, "error out on the first faulted stage instead of degrading")
-		list       = fs.Bool("list", false, "list built-in workloads and exit")
-		verbose    = fs.Bool("v", false, "print per-report details")
-	)
+	shared := cliflags.Register(fs, cliflags.Defaults{
+		Workers:      1,
+		WorkersUsage: "pipeline worker pool size (0 = NumCPU, 1 = sequential)",
+	})
+	own := &ownFlags{
+		workload:   fs.String("workload", "", "built-in workload to analyze (see -list)"),
+		recipe:     fs.String("recipe", "", "input recipe (default: first attack recipe)"),
+		file:       fs.String("file", "", ".oir program to analyze instead of a workload"),
+		inputsFlag: fs.String("inputs", "", "comma-separated input words for -file"),
+		detectRuns: fs.Int("runs", 8, "seeded detection executions"),
+		list:       fs.Bool("list", false, "list built-in workloads and exit"),
+		verbose:    fs.Bool("v", false, "print per-report details"),
+	}
+	return fs, shared, own
+}
+
+type ownFlags struct {
+	workload, recipe, file, inputsFlag *string
+	detectRuns                         *int
+	list, verbose                      *bool
+}
+
+func run(args []string) error {
+	fs, shared, own := flags()
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	if *list {
+	if *own.list {
 		for _, name := range workloads.Names() {
 			w := workloads.Get(name, workloads.NoiseLight)
 			fmt.Printf("%-10s %-28s attacks=%d recipes=%s\n",
@@ -73,44 +79,42 @@ func run(args []string) error {
 		return nil
 	}
 
-	prog, name, err := resolveProgram(*workload, *recipe, *file, *inputsFlag, *noise)
+	prog, name, err := resolveProgram(*own.workload, *own.recipe, *own.file, *own.inputsFlag, shared.Noise)
 	if err != nil {
 		return err
 	}
 
-	if *maxSteps > 0 {
-		prog.MaxSteps = *maxSteps
+	if shared.MaxSteps > 0 {
+		prog.MaxSteps = shared.MaxSteps
 	}
 
-	nWorkers := *workers
+	nWorkers := shared.Workers
 	if nWorkers <= 0 {
 		nWorkers = runtime.NumCPU()
 	}
 	// The collector always runs (it also backs the truncation warning
 	// below); the JSON snapshot is emitted only when -metrics is set.
 	mc := metrics.New()
-	mode := owl.ExploreMode(*explore)
-	if mode != owl.ExploreFixed && mode != owl.ExploreCoverage {
-		return fmt.Errorf("unknown -explore mode %q (want fixed or coverage)", *explore)
+	mode, err := shared.Mode()
+	if err != nil {
+		return err
 	}
-	var plan *faultinject.Plan
-	if *faultsPath != "" {
-		plan, err = faultinject.Load(*faultsPath)
-		if err != nil {
-			return err
-		}
+	plan, err := shared.Plan()
+	if err != nil {
+		return err
 	}
 	res, err := owl.Run(prog, owl.Options{
-		DetectRuns: *detectRuns, Workers: nWorkers, Metrics: mc,
-		Explore: mode, Budget: *budget, Seed: *seed, SnapCache: *snapCache,
-		StageTimeout: *stageTO, Retries: *retries,
-		Faults: plan, FailFast: *failFast,
+		DetectRuns: *own.detectRuns, Workers: nWorkers, Metrics: mc,
+		Explore: mode, Budget: shared.Budget, Seed: shared.Seed, SnapCache: shared.SnapCache,
+		Predict: shared.Predict, PredictReversal: shared.PredictReversal,
+		StageTimeout: shared.StageTimeout, Retries: shared.Retries,
+		Faults: plan, FailFast: shared.FailFast,
 	})
 	if err != nil {
 		return err
 	}
-	if *metricsOut != "" {
-		if err := emitMetrics(mc, *metricsOut); err != nil {
+	if shared.MetricsOut != "" {
+		if err := emitMetrics(mc, shared.MetricsOut); err != nil {
 			return err
 		}
 	}
@@ -123,12 +127,21 @@ func run(args []string) error {
 	if rb := report.Robustness(res); rb != "" {
 		fmt.Print(rb)
 	}
-	if !*verbose {
+	if len(res.PredictedConfirmed) > 0 {
+		fmt.Printf("predicted races confirmed by steered replay: %d\n", len(res.PredictedConfirmed))
+	}
+	if !*own.verbose {
 		return nil
 	}
 	fmt.Println("\n== raw race reports ==")
 	for _, r := range res.Raw {
 		fmt.Println(report.Race(r))
+	}
+	if len(res.PredictedConfirmed) > 0 {
+		fmt.Println("== confirmed predicted races ==")
+		for _, id := range res.PredictedConfirmed {
+			fmt.Println(" ", id)
+		}
 	}
 	fmt.Println("== adhoc synchronizations ==")
 	for _, s := range res.Syncs {

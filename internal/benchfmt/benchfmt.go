@@ -43,11 +43,26 @@ type testEvent struct {
 // "the stream's final word"). Non-JSON lines are ignored so plain
 // `go test -bench` output also parses.
 func ParseStream(source string, r io.Reader) ([]Row, error) {
+	rows, _, err := parseStream(source, r)
+	return rows, err
+}
+
+// ParseStreamStats is ParseStream plus an account of malformed lines: how
+// many lines looked like test2json events (leading '{') but failed to
+// decode — the shape a truncated or interleaved stream leaves behind. On
+// a scan error the rows parsed so far are still returned, so a lenient
+// caller can keep the salvageable prefix of a truncated stream.
+func ParseStreamStats(source string, r io.Reader) (rows []Row, badLines int, err error) {
+	return parseStream(source, r)
+}
+
+func parseStream(source string, r io.Reader) ([]Row, int, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	var pending strings.Builder
 	byName := map[string]Row{}
 	var order []string
+	bad := 0
 	addLine := func(line string) {
 		row, ok := parseResultLine(source, line)
 		if !ok {
@@ -60,8 +75,12 @@ func ParseStream(source string, r io.Reader) ([]Row, error) {
 	}
 	for sc.Scan() {
 		raw := sc.Bytes()
-		var ev testEvent
-		if len(raw) > 0 && raw[0] == '{' && json.Unmarshal(raw, &ev) == nil {
+		if len(raw) > 0 && raw[0] == '{' {
+			var ev testEvent
+			if json.Unmarshal(raw, &ev) != nil {
+				bad++
+				continue
+			}
 			if ev.Action != "output" {
 				continue
 			}
@@ -80,15 +99,16 @@ func ParseStream(source string, r io.Reader) ([]Row, error) {
 		}
 		addLine(string(raw))
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("benchfmt: scan %s: %w", source, err)
-	}
+	scanErr := sc.Err()
 	addLine(pending.String())
 	rows := make([]Row, 0, len(order))
 	for _, name := range order {
 		rows = append(rows, byName[name])
 	}
-	return rows, nil
+	if scanErr != nil {
+		return rows, bad, fmt.Errorf("benchfmt: scan %s: %w", source, scanErr)
+	}
+	return rows, bad, nil
 }
 
 // parseResultLine parses one `BenchmarkName-8   100   123 ns/op ...`
@@ -158,6 +178,55 @@ func Summarize(paths []string) ([]Row, error) {
 		rows = append(rows, got...)
 	}
 	return rows, nil
+}
+
+// Skipped accounts for what SummarizeLenient dropped: whole inputs that
+// could not be opened (a bench target that never ran leaves its
+// BENCH_*.json missing) and individual malformed or truncated test2json
+// lines (an interrupted bench run leaves a half-written tail).
+type Skipped struct {
+	Files int // inputs missing or unreadable
+	Lines int // malformed test2json lines across all read inputs
+}
+
+// Any reports whether anything was skipped.
+func (s Skipped) Any() bool { return s.Files > 0 || s.Lines > 0 }
+
+// String renders the skip account for operator output.
+func (s Skipped) String() string {
+	return fmt.Sprintf("%d unreadable input(s), %d malformed line(s)", s.Files, s.Lines)
+}
+
+// SummarizeLenient is Summarize for dirty inputs: a missing or unreadable
+// path is counted and skipped instead of failing the whole summary, a
+// malformed line is counted and skipped, and a stream that dies mid-scan
+// contributes the rows parsed before the damage. `make bench-summary`
+// uses this so one interrupted ablation cannot zero out the perf record.
+func SummarizeLenient(paths []string) ([]Row, Skipped) {
+	sort.Strings(paths)
+	var rows []Row
+	var sk Skipped
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			sk.Files++
+			continue
+		}
+		base := p
+		if i := strings.LastIndexByte(base, '/'); i >= 0 {
+			base = base[i+1:]
+		}
+		got, bad, err := ParseStreamStats(base, f)
+		f.Close()
+		sk.Lines += bad
+		if err != nil {
+			// Scan-level damage (e.g. an absurdly long line): keep the
+			// salvageable prefix but account for the broken input.
+			sk.Files++
+		}
+		rows = append(rows, got...)
+	}
+	return rows, sk
 }
 
 // WriteSummary emits the rows as indented JSON (stable order, trailing

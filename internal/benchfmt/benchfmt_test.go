@@ -63,6 +63,72 @@ func TestParseStreamIgnoresNonResults(t *testing.T) {
 	}
 }
 
+// TestParseStreamStatsCountsMalformed: a '{'-prefixed line that is not a
+// decodable test2json event (the tail of an interrupted run) is counted
+// and skipped while every intact result around it still parses.
+func TestParseStreamStatsCountsMalformed(t *testing.T) {
+	stream := strings.Join([]string{
+		`{"Action":"output","Package":"p","Output":"BenchmarkOK 10 5 ns/op\n"}`,
+		`{"Action":"output","Package":"p","Out`, // truncated mid-event
+		`{not json at all`,
+		`{"Action":"output","Package":"p","Output":"BenchmarkAfter 10 6 ns/op\n"}`,
+	}, "\n")
+	rows, bad, err := ParseStreamStats("s", strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad != 2 {
+		t.Errorf("bad lines = %d, want 2", bad)
+	}
+	if len(rows) != 2 || rows[0].Name != "BenchmarkOK" || rows[1].Name != "BenchmarkAfter" {
+		t.Errorf("rows = %+v, want the two intact results", rows)
+	}
+}
+
+// TestSummarizeLenientFixtures: the committed fixtures exercise both skip
+// cases — a truncated stream keeps its salvageable rows with the damage
+// counted, and a missing input is counted instead of failing.
+func TestSummarizeLenientFixtures(t *testing.T) {
+	rows, sk := SummarizeLenient([]string{
+		"testdata/BENCH_truncated.json",
+		"testdata/BENCH_clean.json",
+		"testdata/BENCH_does_not_exist.json",
+	})
+	if sk.Files != 1 {
+		t.Errorf("skipped files = %d, want 1 (the missing input)", sk.Files)
+	}
+	if sk.Lines != 2 {
+		t.Errorf("skipped lines = %d, want 2 (the truncated events)", sk.Lines)
+	}
+	if !sk.Any() {
+		t.Error("Skipped.Any() = false with skips recorded")
+	}
+	got := map[string]string{}
+	for _, r := range rows {
+		got[r.Name] = r.Source
+	}
+	for name, src := range map[string]string{
+		"BenchmarkClean-8":     "BENCH_clean.json",
+		"BenchmarkSalvaged-8":  "BENCH_truncated.json",
+		"BenchmarkAfterDamage": "BENCH_truncated.json",
+	} {
+		if got[name] != src {
+			t.Errorf("row %s: source = %q, want %q (rows: %+v)", name, got[name], src, rows)
+		}
+	}
+	if len(rows) != 3 {
+		t.Errorf("rows = %+v, want exactly 3", rows)
+	}
+}
+
+// TestSummarizeStrictStillFails pins the strict API: a missing input is
+// still an error there, so existing callers keep their contract.
+func TestSummarizeStrictStillFails(t *testing.T) {
+	if _, err := Summarize([]string{"testdata/BENCH_does_not_exist.json"}); err == nil {
+		t.Error("Summarize accepted a missing input")
+	}
+}
+
 func TestWriteSummaryRoundTrips(t *testing.T) {
 	in := []Row{
 		{Source: "BENCH_a.json", Name: "BenchmarkA", NsPerOp: 1.5, BytesPerOp: 2, AllocsPerOp: 3, HasMem: true},

@@ -41,6 +41,18 @@ type Config struct {
 	// run budget (0 = DetectRuns). See owl.Options.
 	Explore owl.ExploreMode
 	Budget  int
+	// Seed is the base seed for coverage-mode exploration and for the
+	// predictive detect stage (see owl.Options.Seed).
+	Seed uint64
+	// MaxSteps, when > 0, overrides every workload's interpreter step
+	// budget (see owl.Options; 0 keeps each workload's own budget).
+	MaxSteps int
+	// Predict switches application workloads to the predictive detect
+	// stage (seed traces → predicted pairs → steered confirmation);
+	// PredictReversal additionally enables the optimistic sync-reversal
+	// arm. See owl.Options.
+	Predict         bool
+	PredictReversal bool
 	// SnapCache is the per-stage snapshot-cache entry budget for
 	// coverage-mode exploration (0 disables prefix sharing; see
 	// owl.Options.SnapCache — results are identical either way).
@@ -58,12 +70,15 @@ type Config struct {
 	// first failed workload stops the others promptly.
 	Ctx context.Context
 	// StageTimeout / Retries / Faults ride down into every workload's
-	// owl pipeline (see owl.Options). The pipelines run fail-fast: a
-	// workload whose stage faults fails the build with an error naming
-	// the workload and stage, rather than silently degrading a table.
-	StageTimeout time.Duration
-	Retries      int
-	Faults       *faultinject.Plan
+	// owl pipeline (see owl.Options). The pipelines run fail-fast by
+	// default: a workload whose stage faults fails the build with an
+	// error naming the workload and stage, rather than silently
+	// degrading a table. AllowDegraded inverts that (owl-tables
+	// -fail-fast=false), letting faulted stages degrade instead.
+	StageTimeout  time.Duration
+	Retries       int
+	Faults        *faultinject.Plan
+	AllowDegraded bool
 }
 
 func (c Config) withDefaults() Config {
@@ -161,13 +176,20 @@ func evalApplication(w *workloads.Workload, cfg Config) (*ProgramEval, error) {
 		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
 			return nil, fmt.Errorf("eval %s/%s: %w", w.Name, rec.Name, cfg.Ctx.Err())
 		}
+		maxSteps := w.MaxSteps
+		if cfg.MaxSteps > 0 {
+			maxSteps = cfg.MaxSteps
+		}
 		res, err := owl.Run(owl.Program{
-			Module: w.Module, Entry: w.Entry, Inputs: rec.Inputs, MaxSteps: w.MaxSteps,
+			Module: w.Module, Entry: w.Entry, Inputs: rec.Inputs, MaxSteps: maxSteps,
 		}, owl.Options{
 			DetectRuns:        cfg.DetectRuns,
 			Explore:           cfg.Explore,
 			Budget:            cfg.Budget,
+			Seed:              cfg.Seed,
 			SnapCache:         cfg.SnapCache,
+			Predict:           cfg.Predict,
+			PredictReversal:   cfg.PredictReversal,
 			DisableVulnVerify: cfg.DisableVulnVerify,
 			Workers:           cfg.PipelineWorkers,
 			Metrics:           cfg.Metrics,
@@ -176,8 +198,9 @@ func evalApplication(w *workloads.Workload, cfg Config) (*ProgramEval, error) {
 			Retries:           cfg.Retries,
 			Faults:            cfg.Faults,
 			// Degrading a table row would silently skew the evaluation, so
-			// the tables pipeline opts out of graceful degradation.
-			FailFast: true,
+			// the tables pipeline opts out of graceful degradation unless
+			// the operator explicitly allowed it.
+			FailFast: !cfg.AllowDegraded,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("eval %s/%s: %w", w.Name, rec.Name, err)
@@ -265,7 +288,11 @@ func evalKernel(w *workloads.Workload, cfg Config) (*ProgramEval, error) {
 		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
 			return nil, fmt.Errorf("eval %s/%s: %w", w.Name, rec.Name, cfg.Ctx.Err())
 		}
-		base := interp.Config{Module: w.Module, Entry: w.Entry, Inputs: rec.Inputs, MaxSteps: w.MaxSteps}
+		maxSteps := w.MaxSteps
+		if cfg.MaxSteps > 0 {
+			maxSteps = cfg.MaxSteps
+		}
+		base := interp.Config{Module: w.Module, Entry: w.Entry, Inputs: rec.Inputs, MaxSteps: maxSteps}
 		det := &ski.Detector{MaxRuns: cfg.KernelRuns, MaxDecisions: cfg.KernelDecisions}
 		reports, _, err := det.Detect(base)
 		if err != nil {

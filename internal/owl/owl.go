@@ -96,6 +96,23 @@ type Options struct {
 	// themselves appear); 0 disables snapshotting. Ignored in fixed mode.
 	SnapCache int
 
+	// Predict switches the detect stages to predictive race detection
+	// (-predict; docs/PREDICTION.md): roughly half the budget executes
+	// coverage-guided seed schedules whose synchronization traces feed a
+	// sync-preserving race predictor, and the rest executes only steered
+	// replays that confirm or refute the predicted pairs. Confirmed pairs
+	// become ordinary reports (and so flow into raceverify); predictions
+	// alone are never reported. Deterministic for a fixed (Seed, Budget,
+	// Workers), independent of worker count and SnapCache.
+	Predict bool
+
+	// PredictReversal additionally enables the optimistic
+	// sync-reversal prediction arm (-predict-reversal), which drops the
+	// critical-section ordering edges and predicts more pairs. The extra
+	// pairs may be infeasible; confirmation filters them, so soundness is
+	// unaffected — only confirm-budget spend.
+	PredictReversal bool
+
 	// DisableAdhoc skips step 2; DisableRaceVerify skips step 3;
 	// DisableVulnVerify skips step 5.
 	DisableAdhoc      bool
@@ -208,6 +225,11 @@ type Result struct {
 	// Options.EnableAtomicity is set.
 	AtomicityReports  []*atomicity.Report
 	AtomicityFindings []*vuln.Finding
+	// PredictedConfirmed lists the predicted race IDs that steered
+	// replays dynamically confirmed (Options.Predict), across the detect
+	// and ad-hoc re-run stages, in confirmation order without duplicates.
+	// Every entry also appears in Raw (or Annotated for the re-run).
+	PredictedConfirmed []string
 	// Quarantined lists the runs the supervisor isolated (panic or
 	// error after retries), in stage-then-run order; Degraded lists the
 	// stages that lost work and why. Both are empty on a clean run and
@@ -275,6 +297,16 @@ func Run(p Program, opts Options) (*Result, error) {
 	// coverage-guided engine, both merging reports in run order under the
 	// given stage's supervision.
 	runDetect := func(st *supervise.StageRun, benign *race.Annotations) []*race.Report {
+		if opts.Predict {
+			reports, confirmed, runs := detectPredict(p, st, budget, workers, benign, opts, mc)
+			mc.Count("owl.detect_runs", int64(runs))
+			for _, id := range confirmed {
+				if !containsID(res.PredictedConfirmed, id) {
+					res.PredictedConfirmed = append(res.PredictedConfirmed, id)
+				}
+			}
+			return reports
+		}
 		if opts.Explore == ExploreCoverage {
 			reports, runs := detectCoverage(p, st, budget, workers, benign, opts.Seed, opts.SnapCache, mc)
 			mc.Count("owl.detect_runs", int64(runs))
@@ -729,6 +761,15 @@ func flushSnapMetrics(snap *sched.SnapCache, mc *metrics.Collector) {
 	mc.Count("sched.snap_evictions", st.Evictions)
 	mc.Count("sched.snap_resume_steps_saved", st.StepsSaved)
 	mc.Count("interp.cow_pages_copied", st.CowPages)
+}
+
+func containsID(ids []string, id string) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
 }
 
 // factory builds verification machines for the program.

@@ -47,6 +47,9 @@ func fingerprint(res *Result) string {
 	for _, a := range res.Attacks {
 		fmt.Fprintf(&b, "attack %s\n", a)
 	}
+	for _, id := range res.PredictedConfirmed {
+		fmt.Fprintf(&b, "predicted %s\n", id)
+	}
 	for _, r := range res.AtomicityReports {
 		fmt.Fprintf(&b, "atom %s x%d\n", r.ID(), r.Count)
 	}

@@ -1,0 +1,292 @@
+package predict
+
+import (
+	"github.com/conanalysis/owl/internal/interp"
+	"github.com/conanalysis/owl/internal/ir"
+	"github.com/conanalysis/owl/internal/vclock"
+)
+
+// Pair is one predicted race: two conflicting accesses of a recorded
+// trace that some sync-preserving (or, under the optimistic arm,
+// sync-reversing) reordering could make adjacent. A is the access that
+// occurred earlier in the recorded trace.
+type Pair struct {
+	A, B Ev
+	// Reversed marks pairs only the sync-reversal arm predicts — they
+	// were ordered under the sync-preserving closure.
+	Reversed bool
+}
+
+// ID returns the pair's identity in the exact format race.Report.ID
+// uses (sorted instruction FullNames joined by " <-> "), so predicted,
+// confirmed, and explored races merge under one key.
+func (p Pair) ID() string {
+	a, b := p.A.Instr.FullName(), p.B.Instr.FullName()
+	if a > b {
+		a, b = b, a
+	}
+	return a + " <-> " + b
+}
+
+// accEntry is the last recorded access to one variable by one thread.
+type accEntry struct {
+	tid   interp.ThreadID
+	tick  uint64 // owner's clock component when the access ran
+	spTck uint64 // same, under the sync-preserving (non-reversal) order
+	locks []int64
+	ev    Ev
+}
+
+// varState is the predictor's per-variable shadow: last write and last
+// read per thread, in slices ordered by first appearance so iteration
+// is deterministic.
+type varState struct {
+	writes []accEntry
+	reads  []accEntry
+}
+
+// lockFrame tracks one held critical section: which variables it
+// accessed (bit 1 = read, bit 2 = written) feed the per-(lock, var)
+// release clocks when the lock is released.
+type lockFrame struct {
+	lock int64
+	vars map[int64]uint8
+}
+
+// threadState is the predictor's per-thread state. clock orders the
+// thread under the optimistic (reversal) relation — fork/join and
+// program order only; spClock additionally carries the
+// conflict-mediated critical-section edges of the sync-preserving
+// closure. Tracking both in one pass lets Pairs tag each prediction
+// with whether sync reversal was required.
+type threadState struct {
+	clock   *vclock.VC
+	spClock *vclock.VC
+	held    []lockFrame
+}
+
+// predictor runs the closure over one trace.
+type predictor struct {
+	threads map[interp.ThreadID]*threadState
+	vars    map[int64]*varState
+	// relW/relR: for each (lock, variable), the join of the
+	// sync-preserving clocks at every release whose critical section
+	// wrote/read the variable. A later access to the variable inside a
+	// critical section of the same lock joins them — the
+	// conflict-mediated edge that makes the closure sync-preserving.
+	relW map[int64]map[int64]*vclock.VC
+	relR map[int64]map[int64]*vclock.VC
+
+	reversal bool
+	seen     map[[2]*ir.Instr]bool
+	pairs    []Pair
+}
+
+// Pairs predicts the races reachable by reordering one recorded trace.
+// With reversal false it returns sync-preserving predictions only; with
+// reversal true it additionally returns pairs that require reversing
+// the order of critical sections (tagged Reversed). Output order is
+// deterministic: pairs appear in the order their later access appears
+// in the trace, deduplicated by unordered instruction pair.
+func Pairs(events []Ev, reversal bool) []Pair {
+	p := &predictor{
+		threads:  map[interp.ThreadID]*threadState{},
+		vars:     map[int64]*varState{},
+		relW:     map[int64]map[int64]*vclock.VC{},
+		relR:     map[int64]map[int64]*vclock.VC{},
+		reversal: reversal,
+		seen:     map[[2]*ir.Instr]bool{},
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case interp.EvRead:
+			p.access(e, false)
+		case interp.EvWrite:
+			p.access(e, true)
+		case interp.EvAcquire:
+			t := p.thread(e.TID)
+			t.held = append(t.held, lockFrame{lock: e.Addr, vars: map[int64]uint8{}})
+		case interp.EvRelease:
+			p.release(e)
+		case interp.EvSpawn:
+			parent, child := p.thread(e.TID), p.thread(interp.ThreadID(e.Aux))
+			child.clock.Join(parent.clock)
+			child.spClock.Join(parent.spClock)
+			child.clock.Tick(int(e.Aux))
+			child.spClock.Tick(int(e.Aux))
+			parent.clock.Tick(int(e.TID))
+			parent.spClock.Tick(int(e.TID))
+		case interp.EvJoin:
+			t, child := p.thread(e.TID), p.thread(interp.ThreadID(e.Aux))
+			t.clock.Join(child.clock)
+			t.spClock.Join(child.spClock)
+		}
+	}
+	return p.pairs
+}
+
+// thread returns (creating on first sight) the per-thread state. The
+// clocks tick the thread's own component at creation so a tick of zero
+// can never be mistaken for a real access, mirroring the detector's
+// valid-epoch invariant.
+func (p *predictor) thread(tid interp.ThreadID) *threadState {
+	t, ok := p.threads[tid]
+	if !ok {
+		t = &threadState{clock: vclock.New(), spClock: vclock.New()}
+		t.clock.Tick(int(tid))
+		t.spClock.Tick(int(tid))
+		p.threads[tid] = t
+	}
+	return t
+}
+
+// release pops the frame for the released lock and folds the critical
+// section's accesses into the per-(lock, var) release clocks, then
+// ticks the thread so post-release accesses are distinguishable from
+// in-section ones.
+func (p *predictor) release(e Ev) {
+	t := p.thread(e.TID)
+	for i := len(t.held) - 1; i >= 0; i-- {
+		if t.held[i].lock != e.Addr {
+			continue
+		}
+		fr := t.held[i]
+		t.held = append(t.held[:i], t.held[i+1:]...)
+		for v, bits := range fr.vars {
+			if bits&2 != 0 {
+				joinRel(p.relW, e.Addr, v, t.spClock)
+			}
+			if bits&1 != 0 {
+				joinRel(p.relR, e.Addr, v, t.spClock)
+			}
+		}
+		break
+	}
+	t.clock.Tick(int(e.TID))
+	t.spClock.Tick(int(e.TID))
+}
+
+func joinRel(rel map[int64]map[int64]*vclock.VC, lock, v int64, c *vclock.VC) {
+	m, ok := rel[lock]
+	if !ok {
+		m = map[int64]*vclock.VC{}
+		rel[lock] = m
+	}
+	if cur, ok := m[v]; ok {
+		cur.Join(c)
+	} else {
+		m[v] = c.Copy()
+	}
+}
+
+// access applies the conflict-mediated edges for the current critical
+// sections, tests the access against the other threads' shadow entries,
+// and updates this thread's entry.
+func (p *predictor) access(e Ev, isWrite bool) {
+	t := p.thread(e.TID)
+	// Sync-preserving edges: an access to x inside a critical section of
+	// l is ordered after every earlier release of l whose section
+	// conflicted on x. The optimistic clock skips these — that is
+	// exactly the reversal it permits.
+	for i := range t.held {
+		l := t.held[i].lock
+		if m, ok := p.relW[l]; ok {
+			t.spClock.Join(m[e.Addr])
+		}
+		if isWrite {
+			if m, ok := p.relR[l]; ok {
+				t.spClock.Join(m[e.Addr])
+			}
+		}
+		bit := uint8(1)
+		if isWrite {
+			bit = 2
+		}
+		t.held[i].vars[e.Addr] |= bit
+	}
+
+	vs, ok := p.vars[e.Addr]
+	if !ok {
+		vs = &varState{}
+		p.vars[e.Addr] = vs
+	}
+	locks := heldLocks(t)
+
+	// A racing pair needs at least one write: writes race against both
+	// shadows, reads only against writes.
+	p.check(t, e, locks, vs.writes)
+	if isWrite {
+		p.check(t, e, locks, vs.reads)
+	}
+
+	entries := &vs.reads
+	if isWrite {
+		entries = &vs.writes
+	}
+	ent := accEntry{
+		tid:   e.TID,
+		tick:  t.clock.Get(int(e.TID)),
+		spTck: t.spClock.Get(int(e.TID)),
+		locks: locks,
+		ev:    e,
+	}
+	for i := range *entries {
+		if (*entries)[i].tid == e.TID {
+			(*entries)[i] = ent
+			return
+		}
+	}
+	*entries = append(*entries, ent)
+}
+
+// check tests the current access against each stored entry of other
+// threads and records a Pair for every unordered, lock-disjoint one.
+func (p *predictor) check(t *threadState, e Ev, locks []int64, entries []accEntry) {
+	for i := range entries {
+		ent := &entries[i]
+		if ent.tid == e.TID {
+			continue
+		}
+		// Ordered under the optimistic relation implies ordered under the
+		// sync-preserving one (the latter has strictly more edges).
+		optOrdered := ent.tick <= t.clock.Get(int(ent.tid))
+		spOrdered := ent.spTck <= t.spClock.Get(int(ent.tid))
+		if spOrdered && (optOrdered || !p.reversal) {
+			continue
+		}
+		if !disjoint(ent.locks, locks) {
+			continue
+		}
+		key := [2]*ir.Instr{ent.ev.Instr, e.Instr}
+		if key[0] != key[1] && key[1].FullName() < key[0].FullName() {
+			key[0], key[1] = key[1], key[0]
+		}
+		if p.seen[key] {
+			continue
+		}
+		p.seen[key] = true
+		p.pairs = append(p.pairs, Pair{A: ent.ev, B: e, Reversed: spOrdered})
+	}
+}
+
+func heldLocks(t *threadState) []int64 {
+	if len(t.held) == 0 {
+		return nil
+	}
+	ls := make([]int64, len(t.held))
+	for i := range t.held {
+		ls[i] = t.held[i].lock
+	}
+	return ls
+}
+
+func disjoint(a, b []int64) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -11,11 +11,15 @@ import (
 // the thread that executed the previous step (-1 when it was blocked or
 // done), so a consumer can tell which choices would have been
 // preemptions: any Chosen != SameIdx with SameIdx >= 0 switched away from
-// a thread that could have kept running.
+// a thread that could have kept running. Step is the machine step at
+// which the decision was taken, letting a consumer cut a replayable
+// prefix at any event of the run (predictive confirmation replays every
+// decision taken strictly before a racing access).
 type Decision struct {
 	Choices int
 	Chosen  int
 	SameIdx int
+	Step    int
 }
 
 // DecisionSched drives the machine from an explicit decision vector: at
@@ -108,7 +112,7 @@ func (s *DecisionSched) Next(runnable []interp.ThreadID, step int) interp.Thread
 	if sameIdx >= 0 && choice != sameIdx {
 		s.Preemptions++
 	}
-	s.Trace = append(s.Trace, Decision{Choices: len(runnable), Chosen: choice, SameIdx: sameIdx})
+	s.Trace = append(s.Trace, Decision{Choices: len(runnable), Chosen: choice, SameIdx: sameIdx, Step: step})
 	s.lastTID, s.hasLast = runnable[choice], true
 	return runnable[choice]
 }

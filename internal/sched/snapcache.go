@@ -340,6 +340,45 @@ func (c *SnapCache) RunMachine(cfg interp.Config) (*interp.Machine, error) {
 	return m, nil
 }
 
+// Restore builds a machine for cfg positioned at the deepest cached
+// ancestor of ds.Decisions, without running it — the entry point for
+// callers that drive stepping themselves (predictive confirmation
+// steers the machine after the prefix instead of running a fixed
+// vector). cfg.Sched is used as given, so it may wrap ds in a steering
+// scheduler; ds itself is positioned at the restored boundary. A nil
+// cache, a breakpoint, a missing ancestor, or a non-forkable observer
+// composition all degrade to a fresh machine at step 0. Restored-from
+// entries are read-only here: driver-stepped runs never store new
+// boundaries.
+func (c *SnapCache) Restore(cfg interp.Config, ds *DecisionSched) (*interp.Machine, error) {
+	fks, forkable := forkers(cfg)
+	if c == nil || !forkable || cfg.Breakpoint != nil {
+		return interp.New(cfg)
+	}
+	bound := cfg.MaxSteps
+	if bound <= 0 {
+		bound = interp.DefaultMaxSteps
+	}
+	e := c.lookup(ds.Decisions, bound)
+	if e == nil {
+		return interp.New(cfg)
+	}
+	if len(e.obs) != len(fks) {
+		return nil, ErrSnapObserverMismatch
+	}
+	for i, f := range fks {
+		if !f.RestoreState(e.obs[i]) {
+			return nil, ErrSnapObserverMismatch
+		}
+	}
+	m, err := interp.Restore(e.machine, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ds.SetState(e.sched)
+	return m, nil
+}
+
 // storeBoundary snapshots the machine, scheduler, and observers at a
 // freshly reached decision boundary, keyed by the executed prefix. The
 // snapshot work runs outside the cache lock; an already-present key is

@@ -24,9 +24,37 @@ const (
 	epochTickMax = uint64(1)<<(64-epochTIDBits) - 1
 )
 
-// MakeEpoch packs (tid, tick) into an epoch.
+// EpochMaxTID and EpochMaxTick are the inclusive packing bounds of
+// MakeEpoch. A (tid, tick) outside them cannot be represented in one
+// shadow word.
+const (
+	EpochMaxTID  = 1<<epochTIDBits - 1
+	EpochMaxTick = epochTickMax
+)
+
+// EpochRangeError reports a (tid, tick) pair outside the epoch packing
+// bounds. MakeEpoch panics with it: silently wrapping the tid would
+// attribute the access to another thread's id field, and masking the
+// tick would travel the epoch back in time — both corrupt every
+// happens-before test downstream, so the detector must stop, not guess.
+type EpochRangeError struct {
+	TID  int
+	Tick uint64
+}
+
+func (e *EpochRangeError) Error() string {
+	return fmt.Sprintf("vclock: epoch out of range: tid=%d (max %d), tick=%d (max %d)",
+		e.TID, EpochMaxTID, e.Tick, uint64(EpochMaxTick))
+}
+
+// MakeEpoch packs (tid, tick) into an epoch. It panics with an
+// *EpochRangeError when tid or tick does not fit its field; the guards
+// are two predictable comparisons, so the hot path stays branch-cheap.
 func MakeEpoch(tid int, tick uint64) Epoch {
-	return Epoch(uint64(tid)<<(64-epochTIDBits) | (tick & epochTickMax))
+	if uint(tid) > EpochMaxTID || tick > epochTickMax {
+		panic(&EpochRangeError{TID: tid, Tick: tick})
+	}
+	return Epoch(uint64(tid)<<(64-epochTIDBits) | tick)
 }
 
 // TID unpacks the thread id.

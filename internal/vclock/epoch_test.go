@@ -1,0 +1,92 @@
+package vclock
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEpochRoundTrip(t *testing.T) {
+	cases := []struct {
+		tid  int
+		tick uint64
+	}{
+		{0, 1},
+		{1, 42},
+		{EpochMaxTID, 1},
+		{0, EpochMaxTick},
+		{EpochMaxTID, EpochMaxTick},
+	}
+	for _, c := range cases {
+		e := MakeEpoch(c.tid, c.tick)
+		if e.TID() != c.tid || e.Tick() != c.tick {
+			t.Errorf("MakeEpoch(%d, %d) round-trips to (%d, %d)",
+				c.tid, c.tick, e.TID(), e.Tick())
+		}
+	}
+}
+
+// mustPanicRange asserts fn panics with an *EpochRangeError carrying the
+// offending pair.
+func mustPanicRange(t *testing.T, tid int, tick uint64) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Errorf("MakeEpoch(%d, %d) did not panic", tid, tick)
+			return
+		}
+		err, ok := r.(*EpochRangeError)
+		if !ok {
+			t.Errorf("MakeEpoch(%d, %d) panicked with %T, want *EpochRangeError", tid, tick, r)
+			return
+		}
+		if err.TID != tid || err.Tick != tick {
+			t.Errorf("error carries (%d, %d), want (%d, %d)", err.TID, err.Tick, tid, tick)
+		}
+		if !strings.Contains(err.Error(), "out of range") {
+			t.Errorf("error text %q should mention the range violation", err.Error())
+		}
+	}()
+	MakeEpoch(tid, tick)
+}
+
+func TestMakeEpochRejectsOutOfRange(t *testing.T) {
+	// One past each boundary, plus a negative tid: before the guards, a
+	// tid of EpochMaxTID+1 silently wrapped to thread 0's id field and an
+	// oversized tick was masked into the past — both corrupt the
+	// happens-before test without any visible failure.
+	mustPanicRange(t, EpochMaxTID+1, 1)
+	mustPanicRange(t, -1, 1)
+	mustPanicRange(t, 0, EpochMaxTick+1)
+	mustPanicRange(t, EpochMaxTID+1, EpochMaxTick+1)
+}
+
+func TestMakeEpochBoundaryDoesNotCollide(t *testing.T) {
+	// The exact bug shape the guard prevents: shifting tid 2^16 into the
+	// 16-bit id field produces the same packed word as tid 0 at the same
+	// tick, so the old MakeEpoch attributed the access to thread 0.
+	tid := EpochMaxTID + 1
+	wrapped := Epoch(uint64(tid) << (64 - epochTIDBits))
+	plain := MakeEpoch(0, 0x5)
+	if wrapped|plain != plain {
+		t.Fatalf("test premise broken: tid %d no longer wraps to 0", tid)
+	}
+	// Documents the collision MakeEpoch now refuses to construct.
+	mustPanicRange(t, tid, 0x5)
+}
+
+func TestEpochOfStaysInRange(t *testing.T) {
+	v := New()
+	v.Set(3, 99)
+	if e := v.EpochOf(3); e.TID() != 3 || e.Tick() != 99 {
+		t.Errorf("EpochOf = %v", e)
+	}
+	// A tid beyond the packable range must be refused even via the VC
+	// accessor path the detector uses per access.
+	defer func() {
+		if recover() == nil {
+			t.Error("EpochOf(EpochMaxTID+1) did not panic")
+		}
+	}()
+	v.EpochOf(EpochMaxTID + 1)
+}

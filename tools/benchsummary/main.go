@@ -34,10 +34,10 @@ func main() {
 		}
 		in = append(in, p)
 	}
-	rows, err := benchfmt.Summarize(in)
-	if err != nil {
-		fatal(err)
-	}
+	// Lenient on purpose: a bench target that never ran (missing file) or
+	// was interrupted (truncated stream) must not zero out the summary —
+	// it is skipped, counted, and reported.
+	rows, skipped := benchfmt.SummarizeLenient(in)
 	f, err := os.Create(*out)
 	if err != nil {
 		fatal(err)
@@ -50,6 +50,9 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("benchsummary: %d rows from %d streams -> %s\n", len(rows), len(in), *out)
+	if skipped.Any() {
+		fmt.Printf("benchsummary: skipped %s\n", skipped)
+	}
 }
 
 func fatal(err error) {
