@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -93,9 +94,14 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Print(report.Summary(fs.Arg(0), res))
-		for id, findings := range res.FindingsByReport {
+		ids := make([]string, 0, len(res.FindingsByReport))
+		for id := range res.FindingsByReport {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
 			fmt.Printf("\nfor race %s:\n", id)
-			for _, f := range findings {
+			for _, f := range res.FindingsByReport[id] {
 				fmt.Print(report.Finding(f))
 			}
 		}

@@ -12,6 +12,7 @@
 //	owl -file prog.oir [-inputs 1,2,3] [-v]
 //	owl -workload ssdb -metrics - [-workers 0]
 //	owl -workload libsafe -faults plan.json [-stage-timeout 30s] [-retries 1] [-fail-fast]
+//	owl -workload mysql -engine bytecode [-cpuprofile cpu.out] [-memprofile mem.out]
 //	owl -list
 package main
 
@@ -20,6 +21,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -52,6 +55,8 @@ func flags() (*flag.FlagSet, *cliflags.Shared, *ownFlags) {
 		file:       fs.String("file", "", ".oir program to analyze instead of a workload"),
 		inputsFlag: fs.String("inputs", "", "comma-separated input words for -file"),
 		detectRuns: fs.Int("runs", 8, "seeded detection executions"),
+		cpuProfile: fs.String("cpuprofile", "", "write a pprof CPU profile of the pipeline to this file"),
+		memProfile: fs.String("memprofile", "", "write a pprof heap profile (after the pipeline) to this file"),
 		list:       fs.Bool("list", false, "list built-in workloads and exit"),
 		verbose:    fs.Bool("v", false, "print per-report details"),
 	}
@@ -61,6 +66,7 @@ func flags() (*flag.FlagSet, *cliflags.Shared, *ownFlags) {
 type ownFlags struct {
 	workload, recipe, file, inputsFlag *string
 	detectRuns                         *int
+	cpuProfile, memProfile             *string
 	list, verbose                      *bool
 }
 
@@ -99,18 +105,31 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	engine, err := shared.EngineVal()
+	if err != nil {
+		return err
+	}
 	plan, err := shared.Plan()
+	if err != nil {
+		return err
+	}
+	stopProfile, err := startCPUProfile(*own.cpuProfile)
 	if err != nil {
 		return err
 	}
 	res, err := owl.Run(prog, owl.Options{
 		DetectRuns: *own.detectRuns, Workers: nWorkers, Metrics: mc,
+		Engine:  engine,
 		Explore: mode, Budget: shared.Budget, Seed: shared.Seed, SnapCache: shared.SnapCache,
 		Predict: shared.Predict, PredictReversal: shared.PredictReversal,
 		StageTimeout: shared.StageTimeout, Retries: shared.Retries,
 		Faults: plan, FailFast: shared.FailFast,
 	})
+	stopProfile()
 	if err != nil {
+		return err
+	}
+	if err := writeMemProfile(*own.memProfile); err != nil {
 		return err
 	}
 	if shared.MetricsOut != "" {
@@ -152,15 +171,59 @@ func run(args []string) error {
 		fmt.Println(report.Hint(h))
 	}
 	fmt.Println("== vulnerable input hints ==")
-	for id, findings := range res.FindingsByReport {
+	ids := make([]string, 0, len(res.FindingsByReport))
+	for id := range res.FindingsByReport {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
 		fmt.Printf("for race %s:\n", id)
-		for _, f := range findings {
+		for _, f := range res.FindingsByReport[id] {
 			fmt.Println(report.Finding(f))
 		}
 	}
 	fmt.Println("== dynamic vulnerability verification ==")
 	for _, o := range res.Outcomes {
 		fmt.Println(report.Outcome(o))
+	}
+	return nil
+}
+
+// startCPUProfile begins a pprof CPU profile ("" = off) and returns the
+// stop function; the profile covers only the pipeline run, not flag
+// parsing or report printing, so flame graphs start at owl.Run.
+func startCPUProfile(path string) (func(), error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// writeMemProfile writes a heap profile after a GC ("" = off), so the
+// numbers reflect live pipeline state rather than collectible garbage.
+func writeMemProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
 	}
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/conanalysis/owl/internal/interp"
 	"github.com/conanalysis/owl/internal/owl"
 )
 
@@ -47,6 +48,9 @@ func TestDefaultsApplied(t *testing.T) {
 	if s2.Predict || s2.PredictReversal {
 		t.Error("prediction must default off")
 	}
+	if s2.Engine != "tree" {
+		t.Errorf("engine default = %q, want tree (goldens and benchmarks pin the oracle engine)", s2.Engine)
+	}
 }
 
 func TestParseSharedFlags(t *testing.T) {
@@ -81,6 +85,30 @@ func TestModeRejectsUnknown(t *testing.T) {
 	}
 	if _, err := s.Mode(); err == nil {
 		t.Error("Mode() accepted bogus explore mode")
+	}
+}
+
+func TestEngineVal(t *testing.T) {
+	for _, tc := range []struct {
+		arg  string
+		want interp.Engine
+		ok   bool
+	}{
+		{"tree", interp.EngineTree, true},
+		{"bytecode", interp.EngineBytecode, true},
+		{"jit", "", false},
+	} {
+		fs, s := newSet(Defaults{})
+		if err := fs.Parse([]string{"-engine", tc.arg}); err != nil {
+			t.Fatal(err)
+		}
+		eng, err := s.EngineVal()
+		if tc.ok && (err != nil || eng != tc.want) {
+			t.Errorf("EngineVal(%q) = %v, %v; want %v", tc.arg, eng, err, tc.want)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("EngineVal(%q) accepted an unknown engine", tc.arg)
+		}
 	}
 }
 

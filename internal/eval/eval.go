@@ -36,6 +36,11 @@ type Config struct {
 	KernelDecisions int
 	// DisableVulnVerify skips the slowest stage (useful in quick tests).
 	DisableVulnVerify bool
+	// Engine selects the interpreter execution engine for every machine
+	// the evaluation builds — application pipelines and the SKI-style
+	// kernel exploration alike (default interp.EngineTree; see
+	// owl.Options.Engine).
+	Engine interp.Engine
 	// Explore selects the detect-stage exploration mode for application
 	// workloads (default owl.ExploreFixed); Budget is the coverage-mode
 	// run budget (0 = DetectRuns). See owl.Options.
@@ -183,6 +188,7 @@ func evalApplication(w *workloads.Workload, cfg Config) (*ProgramEval, error) {
 		res, err := owl.Run(owl.Program{
 			Module: w.Module, Entry: w.Entry, Inputs: rec.Inputs, MaxSteps: maxSteps,
 		}, owl.Options{
+			Engine:            cfg.Engine,
 			DetectRuns:        cfg.DetectRuns,
 			Explore:           cfg.Explore,
 			Budget:            cfg.Budget,
@@ -292,7 +298,7 @@ func evalKernel(w *workloads.Workload, cfg Config) (*ProgramEval, error) {
 		if cfg.MaxSteps > 0 {
 			maxSteps = cfg.MaxSteps
 		}
-		base := interp.Config{Module: w.Module, Entry: w.Entry, Inputs: rec.Inputs, MaxSteps: maxSteps}
+		base := interp.Config{Module: w.Module, Entry: w.Entry, Inputs: rec.Inputs, MaxSteps: maxSteps, Engine: cfg.Engine}
 		det := &ski.Detector{MaxRuns: cfg.KernelRuns, MaxDecisions: cfg.KernelDecisions}
 		reports, _, err := det.Detect(base)
 		if err != nil {

@@ -15,8 +15,27 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/conanalysis/owl/internal/bytecode"
 	"github.com/conanalysis/owl/internal/callstack"
 	"github.com/conanalysis/owl/internal/ir"
+)
+
+// Engine selects how a machine executes instructions. Both engines are
+// observationally identical — same events, faults, output, schedule
+// traces, and step counts for the same scheduler decisions — so the
+// tree walker doubles as the differential oracle for the compiled
+// engine (see internal/race's engine-differential tests).
+type Engine string
+
+// Engines.
+const (
+	// EngineTree (also selected by the empty string) walks the ir tree
+	// directly: simple, obviously correct, the reference semantics.
+	EngineTree Engine = "tree"
+	// EngineBytecode executes the flat bytecode lowered once per module
+	// by internal/bytecode: pre-resolved operands, per-edge phi move
+	// lists, superinstruction batching — several times faster.
+	EngineBytecode Engine = "bytecode"
 )
 
 // Scheduler picks the next thread to run. Implementations live in
@@ -26,6 +45,24 @@ type Scheduler interface {
 	// Next returns one element of runnable (which is non-empty and sorted
 	// ascending). step is the machine's global step counter.
 	Next(runnable []ThreadID, step int) ThreadID
+}
+
+// PlanningScheduler is an optional Scheduler extension that lets the
+// compiled engine batch its per-step consultations. Plan writes the
+// choices the next len(buf) Next calls would make — assuming the
+// runnable set stays exactly `runnable` and step increments by one per
+// call — into buf WITHOUT advancing scheduler state, returning how
+// many entries it planned (0 disables the fast path for this window).
+// Advance then applies the state change of the first k of those calls.
+// The engine commits exactly the prefix it executed, so a batch cut
+// short by a status transition (block, wake, spawn, exit, fault)
+// leaves the scheduler in precisely the state per-step Next calls
+// would have produced: Plan + Advance(k) must be observably identical
+// to k Next calls for every k ≤ the planned count.
+type PlanningScheduler interface {
+	Scheduler
+	Plan(runnable []ThreadID, step int, buf []ThreadID) int
+	Advance(runnable []ThreadID, step, k int)
 }
 
 // BPAction is a breakpoint handler's decision.
@@ -64,6 +101,8 @@ type Config struct {
 	// HaltOnFault stops the whole machine at the first fault (default:
 	// only the faulting thread halts, as with a per-thread crash handler).
 	HaltOnFault bool
+	// Engine selects the execution engine ("" means EngineTree).
+	Engine Engine
 }
 
 // StallReason says why Step could make no progress.
@@ -119,7 +158,9 @@ var ErrNoScheduler = errors.New("interp: config has no scheduler")
 // the interpreter.
 const DefaultMaxSteps = 1_000_000
 
-const funcRefBase = int64(1) << 40
+// funcRefBase aliases the bytecode package's constant so compile-time
+// folded function references agree with the ones eval hands out.
+const funcRefBase = bytecode.FuncRefBase
 
 // Machine executes one program instance.
 type Machine struct {
@@ -139,7 +180,10 @@ type Machine struct {
 	funcs   []*ir.Func       // index -> function
 	interns map[string]int64 // string literal -> address
 
-	mutexOwner     map[int64]ThreadID
+	// locks is the held-mutex table. Programs hold a handful of locks at
+	// a time, so a linear-scan slice beats a map on the lock/unlock hot
+	// path (no hashing, no tombstones; release swaps with the last entry).
+	locks          []lockEntry
 	intrinsicByRef map[int64]string // synthetic func-ref id -> intrinsic name
 
 	inputPos  int
@@ -171,6 +215,32 @@ type Machine struct {
 	phiBuf []phiUpdate
 	argBuf []int64
 
+	// Compiled-engine state (nil/unused under EngineTree). globalBase
+	// and globalBlock are indexed by module global ordinal so RefGlobal
+	// operands and loadg/storeg words skip the name map and the arena's
+	// address search; the block pointers are stable for the machine's
+	// lifetime (globals are never freed). moveBuf is the edge-move
+	// scratch buffer (the compiled twin of phiBuf). superinstrHits
+	// counts fully-batched superinstructions.
+	prog           *bytecode.Program
+	globalBase     []int64
+	globalBlock    []*MemBlock
+	moveBuf        []int64
+	superinstrHits int64
+
+	// planBuf holds scheduler choices pre-planned by a
+	// PlanningScheduler; planSize adapts the window to how much of the
+	// last plan survived before a status transition cut it short.
+	planBuf  []ThreadID
+	planSize int
+
+	// schedDirty/anySleeping let the batched dispatch loop reuse
+	// runnableBuf across steps: every status transition marks the set
+	// dirty, and any sleeping thread forces recomputation because the
+	// mere advance of the clock can wake it.
+	schedDirty  bool
+	anySleeping bool
+
 	// stackMemo caches the last materialized event stack per (step,
 	// thread) so several observers of one event share one allocation.
 	stackMemoStep int
@@ -181,6 +251,39 @@ type Machine struct {
 type phiUpdate struct {
 	dst string
 	val int64
+}
+
+// lockEntry is one held mutex in the machine's lock table.
+type lockEntry struct {
+	addr  int64
+	owner ThreadID
+}
+
+// lockOwner reports the holder of the mutex at addr, if held.
+func (m *Machine) lockOwner(addr int64) (ThreadID, bool) {
+	for i := range m.locks {
+		if m.locks[i].addr == addr {
+			return m.locks[i].owner, true
+		}
+	}
+	return 0, false
+}
+
+// lockAcquire records tid as the holder of the mutex at addr.
+func (m *Machine) lockAcquire(addr int64, tid ThreadID) {
+	m.locks = append(m.locks, lockEntry{addr: addr, owner: tid})
+}
+
+// lockRelease drops the mutex at addr from the table.
+func (m *Machine) lockRelease(addr int64) {
+	for i := range m.locks {
+		if m.locks[i].addr == addr {
+			last := len(m.locks) - 1
+			m.locks[i] = m.locks[last]
+			m.locks = m.locks[:last]
+			return
+		}
+	}
 }
 
 // New builds a machine for the given configuration. The module must be
@@ -202,7 +305,20 @@ func New(cfg Config) (*Machine, error) {
 	if entry == nil {
 		return nil, fmt.Errorf("interp: entry function @%s not found", cfg.Entry)
 	}
+	var prog *bytecode.Program
+	switch cfg.Engine {
+	case "", EngineTree:
+	case EngineBytecode:
+		var err error
+		if prog, err = bytecode.Compile(cfg.Module); err != nil {
+			return nil, fmt.Errorf("interp: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("interp: unknown engine %q", cfg.Engine)
+	}
 	m := &Machine{
+		prog:          prog,
+		schedDirty:    true,
 		cfg:           cfg,
 		mod:           cfg.Module,
 		mem:           NewArena(),
@@ -210,7 +326,6 @@ func New(cfg Config) (*Machine, error) {
 		globals:       make(map[string]int64),
 		funcIDs:       make(map[string]int64),
 		interns:       make(map[string]int64),
-		mutexOwner:    make(map[int64]ThreadID),
 		hasObs:        len(cfg.Observers) > 0,
 		hasSwitch:     len(cfg.SwitchObservers) > 0,
 		prevTID:       -1,
@@ -240,9 +355,50 @@ func New(cfg Config) (*Machine, error) {
 		m.funcIDs[f.Name] = funcRefBase + int64(i)
 		m.funcs = append(m.funcs, f)
 	}
+	if m.prog != nil {
+		m.initGlobalTables()
+	}
 	main := m.newThread(entry, cfg.Args, nil)
 	_ = main
 	return m, nil
+}
+
+// initGlobalTables builds the compiled engine's ordinal-indexed global
+// address and block tables (after the arena holds every global).
+func (m *Machine) initGlobalTables() {
+	gs := m.mod.Globals
+	m.globalBase = make([]int64, len(gs))
+	m.globalBlock = make([]*MemBlock, len(gs))
+	for i, g := range gs {
+		addr := m.globals[g.Name]
+		m.globalBase[i] = addr
+		m.globalBlock[i] = m.mem.Find(addr)
+	}
+}
+
+// Engine returns the engine the machine executes with.
+func (m *Machine) Engine() Engine {
+	if m.prog != nil {
+		return EngineBytecode
+	}
+	return EngineTree
+}
+
+// SuperinstrHits returns how many superinstructions the compiled
+// engine completed as a single batch (0 under EngineTree). The count
+// is a dispatch statistic, not part of the captured execution state:
+// it is not carried across Snapshot/Restore, so resumed runs only
+// count their own suffix.
+func (m *Machine) SuperinstrHits() int64 { return m.superinstrHits }
+
+// CompileNS returns the module-lowering wall-clock nanoseconds when
+// running compiled (0 under EngineTree). The lowering is memoized per
+// module, so concurrent machines report the same one-time cost.
+func (m *Machine) CompileNS() int64 {
+	if m.prog == nil {
+		return 0
+	}
+	return m.prog.CompileNS
 }
 
 // Mod returns the module under execution.
@@ -294,19 +450,36 @@ func (m *Machine) FuncForRef(v int64) *ir.Func {
 func (m *Machine) FuncRef(name string) int64 { return m.funcIDs[name] }
 
 func (m *Machine) newThread(fn *ir.Func, args []int64, spawn *ir.Instr) *Thread {
-	fr := &Frame{Fn: fn, Block: fn.Entry(), Regs: make(map[string]int64, 8)}
-	for i, p := range fn.Params {
-		if i < len(args) {
-			fr.Regs[p] = args[i]
-		} else {
-			fr.Regs[p] = 0
+	var fr *Frame
+	if m.prog != nil {
+		fc := m.prog.Funcs[fn]
+		fr = &Frame{Fn: fn, Block: fn.Entry(), BC: fc, code: fc.Code,
+			FPC: fc.EntryPC, Slots: make([]int64, fc.NumSlots), prevEdge: -1}
+		for i, s := range fc.ParamSlots {
+			if i < len(args) {
+				fr.Slots[s] = args[i]
+			}
+		}
+	} else {
+		fr = &Frame{Fn: fn, Block: fn.Entry(), Regs: make(map[string]int64, 8)}
+		for i, p := range fn.Params {
+			if i < len(args) {
+				fr.Regs[p] = args[i]
+			} else {
+				fr.Regs[p] = 0
+			}
 		}
 	}
 	t := &Thread{ID: ThreadID(len(m.threads)), Status: StatusRunnable,
-		Frames: []*Frame{fr}, SpawnInstr: spawn}
+		Frames: []*Frame{fr}, top: fr, SpawnInstr: spawn}
 	m.threads = append(m.threads, t)
 	m.live = append(m.live, t)
-	m.enterBlock(t, fn.Entry(), "")
+	m.schedDirty = true
+	if fr.BC == nil {
+		// Entry-block phis read the zeroed register state; compiled frames
+		// start with zeroed slots, so their entry edge needs no moves.
+		m.enterBlock(t, fn.Entry(), "")
+	}
 	return t
 }
 
@@ -383,6 +556,7 @@ func (m *Machine) fault(t *Thread, in *ir.Instr, f *Fault) {
 	f.Step = m.step
 	m.faults = append(m.faults, f)
 	t.Status = StatusFaulted
+	m.schedDirty = true
 	m.wakeJoiners(t)
 	if m.cfg.HaltOnFault {
 		m.exited = true
@@ -396,7 +570,14 @@ func (m *Machine) eval(t *Thread, o ir.Operand) (int64, *Fault) {
 	case ir.OperandConst:
 		return o.Imm, nil
 	case ir.OperandReg:
-		return t.Top().Regs[o.Name], nil
+		fr := t.Top()
+		if fr.Slots != nil {
+			if s, ok := fr.BC.SlotOf[o.Name]; ok {
+				return fr.Slots[s], nil
+			}
+			return 0, nil // a name the tree walker would read as a missing map entry
+		}
+		return fr.Regs[o.Name], nil
 	case ir.OperandGlobal:
 		if a, ok := m.globals[o.Name]; ok {
 			return a, nil
@@ -450,10 +631,13 @@ func (m *Machine) intern(s string) int64 {
 func (m *Machine) runnableIDs() []ThreadID {
 	ids := m.runnableBuf[:0]
 	live := m.live[:0]
+	sleeping := false
 	for _, t := range m.live {
 		switch t.Status {
 		case StatusDone, StatusFaulted:
 			continue // drop from the live list
+		case StatusSleeping:
+			sleeping = true
 		}
 		live = append(live, t)
 		if t.Runnable(m.step) {
@@ -462,7 +646,19 @@ func (m *Machine) runnableIDs() []ThreadID {
 	}
 	m.live = live
 	m.runnableBuf = ids
+	m.schedDirty = false
+	m.anySleeping = sleeping
 	return ids
+}
+
+// runnableCached returns the runnable set, recomputing only when a
+// status transition happened since the last scan or a sleeping thread
+// could be woken by the clock alone.
+func (m *Machine) runnableCached() []ThreadID {
+	if m.schedDirty || m.anySleeping {
+		return m.runnableIDs()
+	}
+	return m.runnableBuf
 }
 
 // LastScheduled returns the id of the thread that executed the most recent
@@ -567,7 +763,11 @@ func (m *Machine) Step() bool {
 		}
 		m.prevTID, m.prevInstr = t.ID, in
 	}
-	m.exec(t, in)
+	if fr := t.Top(); fr.BC != nil {
+		m.execWord(t, fr, in, fr.BC.Code[fr.FPC])
+	} else {
+		m.exec(t, in)
+	}
 	m.step++
 	return true
 }
@@ -576,7 +776,7 @@ func (m *Machine) Step() bool {
 // short runs never regrow, bounded so machines with a huge step budget
 // don't pre-commit memory they won't use.
 func traceCap(maxSteps int) int {
-	const presize = 2048
+	const presize = 8192
 	if maxSteps < presize {
 		return maxSteps
 	}
@@ -600,9 +800,23 @@ func (m *Machine) traceAppend(id ThreadID) {
 // Run steps the machine until completion, deadlock, fault-halt, or the
 // step bound, and returns the result.
 func (m *Machine) Run() *Result {
+	m.RunLoop()
+	return m.Result()
+}
+
+// RunLoop steps the machine until it can make no more progress,
+// without building a Result. Under the compiled engine it uses the
+// batched dispatch loop (unless a breakpoint is attached, which needs
+// Step's per-instruction hook); under the tree engine it is exactly
+// `for m.Step() {}`. The two are interchangeable: callers may hand-step
+// a machine and then let RunLoop finish it.
+func (m *Machine) RunLoop() {
+	if m.prog != nil && m.cfg.Breakpoint == nil {
+		m.runBytecode()
+		return
+	}
 	for m.Step() {
 	}
-	return m.Result()
 }
 
 // Result snapshots the run outcome so far. The Faults, Output, and
@@ -635,6 +849,7 @@ func (m *Machine) Result() *Result {
 func (m *Machine) Resume(tid ThreadID) {
 	if t := m.Thread(tid); t != nil {
 		t.Suspended = false
+		m.schedDirty = true
 	}
 }
 
@@ -642,6 +857,7 @@ func (m *Machine) Resume(tid ThreadID) {
 func (m *Machine) Suspend(tid ThreadID) {
 	if t := m.Thread(tid); t != nil {
 		t.Suspended = true
+		m.schedDirty = true
 	}
 }
 
@@ -838,22 +1054,34 @@ func (m *Machine) ret(t *Thread, v int64) {
 	}
 	t.Frames = t.Frames[:len(t.Frames)-1]
 	if len(t.Frames) == 0 {
+		t.top = nil
 		t.Status = StatusDone
 		t.Result = v
+		m.schedDirty = true
 		m.wakeJoiners(t)
 		return
 	}
-	caller := t.Top()
+	caller := t.Frames[len(t.Frames)-1]
+	t.top = caller
 	if ci := fr.CallInstr; ci != nil && ci.Dst != "" {
-		caller.Regs[ci.Dst] = v
+		if caller.Slots != nil {
+			caller.Slots[caller.BC.SlotOf[ci.Dst]] = v
+		} else {
+			caller.Regs[ci.Dst] = v
+		}
 	}
-	caller.PC++
+	if caller.BC != nil {
+		caller.FPC++
+	} else {
+		caller.PC++
+	}
 }
 
 func (m *Machine) wakeJoiners(done *Thread) {
 	for _, t := range m.threads {
 		if t.Status == StatusBlockedJoin && t.JoinTarget == done.ID {
 			t.Status = StatusRunnable
+			m.schedDirty = true
 		}
 	}
 }
@@ -915,6 +1143,7 @@ func (m *Machine) callFunc(t *Thread, in *ir.Instr, fn *ir.Func) {
 	}
 	m.argBuf = args[:0]
 	t.Frames = append(t.Frames, fr)
+	t.top = fr
 	m.enterBlock(t, fn.Entry(), "")
 }
 

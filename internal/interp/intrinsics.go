@@ -38,7 +38,6 @@ func IsIntrinsic(name string) bool { return isIntrinsic(name) }
 // blocking intrinsics (mutex_lock, join) leave the PC so the call retries
 // when the thread wakes.
 func (m *Machine) callIntrinsic(t *Thread, in *ir.Instr, name string) {
-	fr := t.Top()
 	// Reuse the machine's scratch buffer: no intrinsic re-enters argument
 	// evaluation, and the only consumer that outlives this call (spawn's
 	// newThread) copies the values out immediately.
@@ -52,6 +51,14 @@ func (m *Machine) callIntrinsic(t *Thread, in *ir.Instr, name string) {
 		args = append(args, v)
 	}
 	m.argBuf = args[:0]
+	m.intrinsic(t, in, name, args, -1)
+}
+
+// intrinsic is the engine-shared intrinsic body: args are already
+// evaluated, and dstSlot is the compiled frame's destination slot (-1
+// for none; ignored by tree frames, which use in.Dst).
+func (m *Machine) intrinsic(t *Thread, in *ir.Instr, name string, args []int64, dstSlot int) {
+	fr := t.Top()
 	arg := func(i int) int64 {
 		if i < len(args) {
 			return args[i]
@@ -59,10 +66,17 @@ func (m *Machine) callIntrinsic(t *Thread, in *ir.Instr, name string) {
 		return 0
 	}
 	done := func(ret int64) {
-		if in.Dst != "" {
-			fr.Regs[in.Dst] = ret
+		if fr.Slots != nil {
+			if dstSlot >= 0 {
+				fr.Slots[dstSlot] = ret
+			}
+			fr.FPC++
+		} else {
+			if in.Dst != "" {
+				fr.Regs[in.Dst] = ret
+			}
+			fr.PC++
 		}
-		fr.PC++
 	}
 
 	switch name {
@@ -95,6 +109,7 @@ func (m *Machine) callIntrinsic(t *Thread, in *ir.Instr, name string) {
 		default:
 			t.Status = StatusBlockedJoin
 			t.JoinTarget = target.ID
+			m.schedDirty = true
 		}
 
 	case "thread_id":
@@ -112,11 +127,13 @@ func (m *Machine) callIntrinsic(t *Thread, in *ir.Instr, name string) {
 		}
 		t.Status = StatusSleeping
 		t.SleepUntil = m.step + 1 + int(n)
+		m.schedDirty = true
+		m.anySleeping = true
 		done(0)
 
 	case "mutex_lock":
 		addr := arg(0)
-		if owner, held := m.mutexOwner[addr]; held {
+		if owner, held := m.lockOwner(addr); held {
 			if owner == t.ID {
 				m.fault(t, in, &Fault{Kind: FaultAbort, Addr: addr,
 					Msg: "recursive lock of non-recursive mutex (self deadlock)"})
@@ -124,9 +141,10 @@ func (m *Machine) callIntrinsic(t *Thread, in *ir.Instr, name string) {
 			}
 			t.Status = StatusBlockedMutex
 			t.WaitAddr = addr
+			m.schedDirty = true
 			return // retry when woken
 		}
-		m.mutexOwner[addr] = t.ID
+		m.lockAcquire(addr, t.ID)
 		if m.hasObs {
 			m.emit(Event{Kind: EvAcquire, TID: t.ID, Addr: addr, Instr: in})
 		}
@@ -134,14 +152,15 @@ func (m *Machine) callIntrinsic(t *Thread, in *ir.Instr, name string) {
 
 	case "mutex_unlock":
 		addr := arg(0)
-		if owner, held := m.mutexOwner[addr]; held && owner == t.ID {
-			delete(m.mutexOwner, addr)
+		if owner, held := m.lockOwner(addr); held && owner == t.ID {
+			m.lockRelease(addr)
 			if m.hasObs {
 				m.emit(Event{Kind: EvRelease, TID: t.ID, Addr: addr, Instr: in})
 			}
 			for _, w := range m.threads {
 				if w.Status == StatusBlockedMutex && w.WaitAddr == addr {
 					w.Status = StatusRunnable
+					m.schedDirty = true
 				}
 			}
 		}
@@ -331,6 +350,7 @@ func (m *Machine) callIntrinsic(t *Thread, in *ir.Instr, name string) {
 	case "exit":
 		m.exited = true
 		m.exitCode = int(arg(0))
+		m.schedDirty = true
 		for _, th := range m.threads {
 			if th.Status != StatusFaulted {
 				th.Status = StatusDone

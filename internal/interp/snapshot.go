@@ -2,7 +2,10 @@ package interp
 
 import (
 	"errors"
+	"fmt"
+	"sort"
 
+	"github.com/conanalysis/owl/internal/bytecode"
 	"github.com/conanalysis/owl/internal/callstack"
 	"github.com/conanalysis/owl/internal/ir"
 )
@@ -30,7 +33,7 @@ type Snapshot struct {
 	funcIDs        map[string]int64
 	funcs          []*ir.Func
 	interns        map[string]int64
-	mutexOwner     map[int64]ThreadID
+	locks          []lockEntry // sorted by addr: images are canonical
 	intrinsicByRef map[int64]string
 
 	inputPos  int
@@ -149,10 +152,36 @@ func snapshotThread(t *Thread) threadImage {
 		fi := frameImage{
 			fn: fr.Fn, block: fr.Block, pc: fr.PC, prevBlock: fr.PrevBlock,
 			callInstr: fr.CallInstr, chain: fr.chain,
-			regs: make(map[string]int64, len(fr.Regs)),
 		}
-		for k, v := range fr.Regs {
-			fi.regs[k] = v
+		if fr.BC != nil {
+			// Compiled frames snapshot in canonical (tree) form, so a
+			// snapshot restores under either engine. The running engine
+			// does not maintain Block/PrevBlock; both are derived here —
+			// the current block from the pc, the previous block from the
+			// last edge taken (a restored frame that has taken no edge yet
+			// keeps the PrevBlock its image carried). pc: the word's
+			// position within its block (phis included); sentinel words
+			// map to end-of-block. regs: the named slot values — extra
+			// zero-valued names a tree frame wouldn't carry are harmless,
+			// a missing map entry reads 0 either way.
+			fi.block = fr.BC.BlockOfPC[fr.FPC]
+			if fr.prevEdge >= 0 {
+				fi.prevBlock = fr.BC.Edges[fr.prevEdge].Src.Name
+			}
+			if in := fr.BC.Instrs[fr.FPC]; in != nil {
+				fi.pc = in.Index - fi.block.Instrs[0].Index
+			} else {
+				fi.pc = len(fi.block.Instrs)
+			}
+			fi.regs = make(map[string]int64, len(fr.Slots))
+			for s, name := range fr.BC.SlotNames {
+				fi.regs[name] = fr.Slots[s]
+			}
+		} else {
+			fi.regs = make(map[string]int64, len(fr.Regs))
+			for k, v := range fr.Regs {
+				fi.regs[k] = v
+			}
 		}
 		if len(fr.Allocas) > 0 {
 			fi.allocas = make([]int, len(fr.Allocas))
@@ -165,22 +194,48 @@ func snapshotThread(t *Thread) threadImage {
 	return ti
 }
 
-func (ti threadImage) restore(mem *Arena) *Thread {
+func (ti threadImage) restore(m *Machine) *Thread {
 	t := &Thread{
 		ID: ti.id, Status: ti.status, Suspended: ti.suspended,
 		WaitAddr: ti.waitAddr, JoinTarget: ti.joinTarget,
 		SleepUntil: ti.sleepUntil, Result: ti.result, SpawnInstr: ti.spawnInstr,
 		Frames: make([]*Frame, len(ti.frames)),
 	}
-	blocks := mem.Blocks()
+	blocks := m.mem.Blocks()
 	for i, fi := range ti.frames {
-		fr := &Frame{
-			Fn: fi.fn, Block: fi.block, PC: fi.pc, PrevBlock: fi.prevBlock,
-			CallInstr: fi.callInstr, chain: fi.chain,
-			Regs: make(map[string]int64, len(fi.regs)),
-		}
-		for k, v := range fi.regs {
-			fr.Regs[k] = v
+		var fr *Frame
+		if m.prog != nil {
+			// Rebuild a compiled frame from the canonical image: the
+			// block-relative pc maps back to a word pc (end-of-block maps
+			// to the sentinel), named registers map to slots. Names
+			// without a slot can only be ones the function never reads;
+			// dropping them is value-preserving.
+			fc := m.prog.Funcs[fi.fn]
+			fr = &Frame{
+				Fn: fi.fn, Block: fi.block, PrevBlock: fi.prevBlock,
+				CallInstr: fi.callInstr, chain: fi.chain,
+				BC: fc, code: fc.Code, Slots: make([]int64, fc.NumSlots),
+				prevEdge: -1,
+			}
+			if fi.pc >= len(fi.block.Instrs) {
+				fr.FPC = fc.EndPC[fi.block]
+			} else {
+				fr.FPC = fc.PCofInstr[fi.block.Instrs[fi.pc].Index]
+			}
+			for k, v := range fi.regs {
+				if s, ok := fc.SlotOf[k]; ok {
+					fr.Slots[s] = v
+				}
+			}
+		} else {
+			fr = &Frame{
+				Fn: fi.fn, Block: fi.block, PC: fi.pc, PrevBlock: fi.prevBlock,
+				CallInstr: fi.callInstr, chain: fi.chain,
+				Regs: make(map[string]int64, len(fi.regs)),
+			}
+			for k, v := range fi.regs {
+				fr.Regs[k] = v
+			}
 		}
 		if len(fi.allocas) > 0 {
 			fr.Allocas = make([]*MemBlock, len(fi.allocas))
@@ -189,6 +244,9 @@ func (ti threadImage) restore(mem *Arena) *Thread {
 			}
 		}
 		t.Frames[i] = fr
+	}
+	if n := len(t.Frames); n > 0 {
+		t.top = t.Frames[n-1]
 	}
 	return t
 }
@@ -226,10 +284,8 @@ func (m *Machine) Snapshot() *Snapshot {
 	s.cfg.Observers = nil
 	s.cfg.SwitchObservers = nil
 	s.cfg.Breakpoint = nil
-	s.mutexOwner = make(map[int64]ThreadID, len(m.mutexOwner))
-	for k, v := range m.mutexOwner {
-		s.mutexOwner[k] = v
-	}
+	s.locks = append([]lockEntry(nil), m.locks...)
+	sort.Slice(s.locks, func(i, j int) bool { return s.locks[i].addr < s.locks[j].addr })
 	if m.intrinsicByRef != nil {
 		s.intrinsicByRef = make(map[int64]string, len(m.intrinsicByRef))
 		for k, v := range m.intrinsicByRef {
@@ -272,7 +328,25 @@ func Restore(s *Snapshot, cfg Config) (*Machine, error) {
 	if cfg.MaxSteps > 0 {
 		mcfg.MaxSteps = cfg.MaxSteps
 	}
+	// Frames snapshot in canonical form, so the resuming run may choose
+	// its own engine; by default it keeps the snapshot's.
+	if cfg.Engine != "" {
+		mcfg.Engine = cfg.Engine
+	}
+	var prog *bytecode.Program
+	switch mcfg.Engine {
+	case "", EngineTree:
+	case EngineBytecode:
+		var err error
+		if prog, err = bytecode.Compile(mcfg.Module); err != nil {
+			return nil, fmt.Errorf("interp: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("interp: unknown engine %q", mcfg.Engine)
+	}
 	m := &Machine{
+		prog:           prog,
+		schedDirty:     true,
 		cfg:            mcfg,
 		mod:            mcfg.Module,
 		mem:            s.mem.restore(),
@@ -305,10 +379,7 @@ func Restore(s *Snapshot, cfg Config) (*Machine, error) {
 			m.intrinsicByRef[k] = v
 		}
 	}
-	m.mutexOwner = make(map[int64]ThreadID, len(s.mutexOwner))
-	for k, v := range s.mutexOwner {
-		m.mutexOwner[k] = v
-	}
+	m.locks = append([]lockEntry(nil), s.locks...)
 	for _, o := range mcfg.Observers {
 		sp, declared := o.(StackPolicy)
 		for k := EvRead; k < evKindCount; k++ {
@@ -317,9 +388,14 @@ func Restore(s *Snapshot, cfg Config) (*Machine, error) {
 			}
 		}
 	}
+	if m.prog != nil {
+		// The restored arena has fresh block objects; rebuild the
+		// ordinal-indexed tables against it.
+		m.initGlobalTables()
+	}
 	m.threads = make([]*Thread, len(s.threads))
 	for i, ti := range s.threads {
-		m.threads[i] = ti.restore(m.mem)
+		m.threads[i] = ti.restore(m)
 	}
 	// The live list is the threads not yet done/faulted: the original's
 	// lazily-compacted list may still hold finished threads, but those

@@ -236,6 +236,62 @@ func TestSnapshotFidelityRandomized(t *testing.T) {
 	}
 }
 
+// TestSnapshotCrossEngine pins the snapshot image as the engine-neutral
+// interchange format: a run paused under one engine must restore and
+// finish under the other, byte-identical to the all-tree reference.
+// This is what forces snapshotThread to fold compiled-frame state
+// (FPC, prevEdge, slot files) back into the canonical Block/PC/Regs
+// image, and Restore to rebuild either frame representation from it.
+func TestSnapshotCrossEngine(t *testing.T) {
+	for progSeed := int64(1); progSeed <= 6; progSeed++ {
+		src, inputs := genSnapProgram(rand.New(rand.NewSource(progSeed)))
+		mod, err := ir.Parse("snap_xengine_test.oir", src)
+		if err != nil {
+			t.Fatalf("prog %d: generated program does not parse: %v\n%s", progSeed, err, src)
+		}
+		base := Config{Module: mod, Inputs: inputs, MaxSteps: 20000}
+		cfg := base
+		cfg.Sched = &snapRand{state: uint64(progSeed)}
+		ref := mustMachine(t, cfg)
+		ref.Run()
+		want := machineState(ref)
+		tape := ref.Result().Schedule
+
+		for _, dir := range []struct{ from, to Engine }{
+			{EngineTree, EngineBytecode},
+			{EngineBytecode, EngineTree},
+		} {
+			for _, frac := range []int{3, 2} {
+				k := len(tape) / frac
+				if k == 0 {
+					continue
+				}
+				pauseCfg := base
+				pauseCfg.Sched = &snapReplay{tape: tape}
+				pauseCfg.Engine = dir.from
+				mb := mustMachine(t, pauseCfg)
+				for i := 0; i < k; i++ {
+					if !mb.Step() {
+						t.Fatalf("prog %d %s->%s: replay ended early at %d/%d", progSeed, dir.from, dir.to, i, k)
+					}
+				}
+				mc, err := Restore(mb.Snapshot(), Config{Sched: &snapReplay{tape: tape, pos: k}, Engine: dir.to})
+				if err != nil {
+					t.Fatalf("prog %d %s->%s k=%d: restore: %v", progSeed, dir.from, dir.to, k, err)
+				}
+				if mc.Engine() != dir.to {
+					t.Fatalf("prog %d: restored engine = %s, want %s", progSeed, mc.Engine(), dir.to)
+				}
+				mc.Run()
+				if got := machineState(mc); got != want {
+					t.Fatalf("prog %d: %s->%s restore from step %d diverges\n--- want\n%s\n--- got\n%s\nprogram:\n%s",
+						progSeed, dir.from, dir.to, k, want, got, src)
+				}
+			}
+		}
+	}
+}
+
 // TestSnapshotAfterFault pins the post-fault restore case explicitly: a
 // worker dies of use-after-free, the machine is snapshotted after the
 // fault, and the restored run must carry the fault record, the dead

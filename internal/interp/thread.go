@@ -3,6 +3,7 @@ package interp
 import (
 	"fmt"
 
+	"github.com/conanalysis/owl/internal/bytecode"
 	"github.com/conanalysis/owl/internal/callstack"
 	"github.com/conanalysis/owl/internal/ir"
 )
@@ -44,13 +45,32 @@ func (s ThreadStatus) String() string {
 	}
 }
 
-// Frame is one activation record.
+// Frame is one activation record. A frame belongs to exactly one
+// engine: tree frames use Block/PC/Regs and keep Block/PrevBlock
+// current at every transfer; compiled frames use BC/FPC/Slots and do
+// NOT update Block/PrevBlock while running (Block stays at the value
+// set on frame construction) — their current block is derived from
+// FPC via BC.BlockOfPC and their previous block from prevEdge, which
+// snapshotThread folds back into the canonical image.
 type Frame struct {
 	Fn        *ir.Func
 	Block     *ir.Block
 	PC        int // index into Block.Instrs
 	PrevBlock string
 	Regs      map[string]int64
+
+	// BC/FPC/Slots are the compiled engine's frame state: the function's
+	// bytecode, the program counter into BC.Code, and the dense register
+	// file (BC.SlotOf maps names to indices). code aliases BC.Code so
+	// the dispatch loop's fetch skips one pointer hop. prevEdge is the
+	// index of the last edge taken (-1 if none): an integer stands in
+	// for the tree engine's PrevBlock string so control transfers store
+	// no pointers (and incur no GC write barriers).
+	BC       *bytecode.FuncCode
+	FPC      int
+	Slots    []int64
+	code     []uint64
+	prevEdge int32
 	// CallInstr is the call instruction in the caller that created this
 	// frame (nil for the bottom frame); its Dst receives the return value.
 	CallInstr *ir.Instr
@@ -65,9 +85,24 @@ type Frame struct {
 	chain *callstack.Node
 }
 
+// CurBlock returns the block the frame is executing. Engine-neutral,
+// unlike reading Block directly: compiled frames derive the block from
+// the pc (Block is not maintained while running, see above).
+func (fr *Frame) CurBlock() *ir.Block {
+	if fr.BC != nil {
+		return fr.BC.BlockOfPC[fr.FPC]
+	}
+	return fr.Block
+}
+
 // Cur returns the instruction the frame is about to execute, or nil at
 // end-of-block (which the verifier treats as malformed IR).
 func (fr *Frame) Cur() *ir.Instr {
+	if fr.BC != nil {
+		// The pc is always in range: every block ends in a sentinel word
+		// and execution faults there without advancing.
+		return fr.BC.Instrs[fr.FPC]
+	}
 	if fr.Block == nil || fr.PC >= len(fr.Block.Instrs) {
 		return nil
 	}
@@ -79,6 +114,11 @@ type Thread struct {
 	ID     ThreadID
 	Status ThreadStatus
 	Frames []*Frame
+	// top caches Frames[len(Frames)-1] (nil when empty) so the
+	// dispatch loop reaches the active frame in one load instead of a
+	// slice-header chase. Every site that grows or shrinks Frames
+	// refreshes it.
+	top *Frame
 
 	// Suspended marks the thread halted by a thread-specific breakpoint
 	// (§5.2): the rest of the machine keeps running. A suspended thread is
@@ -100,12 +140,7 @@ type Thread struct {
 }
 
 // Top returns the innermost frame, or nil if the thread has exited.
-func (t *Thread) Top() *Frame {
-	if len(t.Frames) == 0 {
-		return nil
-	}
-	return t.Frames[len(t.Frames)-1]
-}
+func (t *Thread) Top() *Frame { return t.top }
 
 // Cur returns the instruction the thread would execute next, or nil.
 func (t *Thread) Cur() *ir.Instr {

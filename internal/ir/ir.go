@@ -15,6 +15,7 @@ package ir
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Type is the (deliberately small) type system of the IR. The vulnerability
@@ -484,6 +485,9 @@ type Module struct {
 	funcIdx   map[string]*Func
 	globalIdx map[string]*Global
 	frozen    bool
+
+	lowerMu sync.Mutex
+	lowered map[any]any
 }
 
 // NewModule returns an empty module with the given name.
@@ -535,6 +539,32 @@ func (m *Module) AddFunc(f *Func) error {
 
 // Frozen reports whether Freeze has completed on this module.
 func (m *Module) Frozen() bool { return m.frozen }
+
+// LowerOnce memoizes a lowered form of the module under key: the first
+// call per key runs build and caches its result; later calls return the
+// cached value. It is the hook back-end compilers (internal/bytecode)
+// use to lower a frozen module exactly once no matter how many machines
+// run it, and it is safe for concurrent use. A build error is not
+// cached, so a failed lowering is retried on the next call.
+func (m *Module) LowerOnce(key any, build func() (any, error)) (any, error) {
+	if !m.frozen {
+		return nil, fmt.Errorf("module %s: lower before freeze", m.Name)
+	}
+	m.lowerMu.Lock()
+	defer m.lowerMu.Unlock()
+	if v, ok := m.lowered[key]; ok {
+		return v, nil
+	}
+	v, err := build()
+	if err != nil {
+		return nil, err
+	}
+	if m.lowered == nil {
+		m.lowered = make(map[any]any)
+	}
+	m.lowered[key] = v
+	return v, nil
+}
 
 // Freeze finalizes the module: it indexes blocks, assigns flat instruction
 // indices and back-references, and verifies well-formedness. Modules must

@@ -67,6 +67,13 @@ const (
 // Options tunes the pipeline. The Disable* switches exist for the
 // ablation benchmarks.
 type Options struct {
+	// Engine selects the interpreter execution engine for every machine
+	// the pipeline builds — detection runs, steered replays, and the
+	// dynamic verifiers (default interp.EngineTree). The two engines are
+	// observably identical (docs/BYTECODE.md); only speed and the
+	// bytecode.* / interp.engine metrics differ.
+	Engine interp.Engine
+
 	// DetectRuns is the number of seeded detection executions whose
 	// deduplicated reports form the raw report set (default 8).
 	DetectRuns int
@@ -258,6 +265,11 @@ func Run(p Program, opts Options) (*Result, error) {
 	}
 	mc := opts.Metrics
 	mc.Gauge("owl.workers", float64(workers))
+	if opts.Engine == interp.EngineBytecode {
+		mc.Gauge("interp.engine", 1)
+	} else {
+		mc.Gauge("interp.engine", 0)
+	}
 	defer mc.Stage("owl.total")()
 
 	budget := opts.Budget
@@ -308,12 +320,12 @@ func Run(p Program, opts Options) (*Result, error) {
 			return reports
 		}
 		if opts.Explore == ExploreCoverage {
-			reports, runs := detectCoverage(p, st, budget, workers, benign, opts.Seed, opts.SnapCache, mc)
+			reports, runs := detectCoverage(p, st, budget, workers, benign, opts, mc)
 			mc.Count("owl.detect_runs", int64(runs))
 			return reports
 		}
 		mc.Count("owl.detect_runs", int64(detectRuns))
-		return detect(p, st, detectRuns, workers, benign, mc)
+		return detect(p, st, detectRuns, workers, benign, opts.Engine, mc)
 	}
 
 	// Step 1: detection runs over explored schedules; dedupe across runs.
@@ -357,7 +369,7 @@ func Run(p Program, opts Options) (*Result, error) {
 	// loop fans out; hints are collected in report order. A quarantined
 	// verification drops its report from every later stage (neither
 	// verified nor eliminated — lost).
-	mk := factory(p)
+	mk := factory(p, opts.Engine)
 	rvLost := 0
 	if !opts.DisableRaceVerify {
 		rv := opts.RaceVerifier
@@ -440,9 +452,9 @@ func Run(p Program, opts Options) (*Result, error) {
 	if opts.EnableAtomicity {
 		st = sup.Stage("owl.atomicity")
 		if opts.Explore == ExploreCoverage {
-			res.AtomicityReports = detectAtomicityCoverage(p, st, budget, workers, opts.Seed, opts.SnapCache, mc)
+			res.AtomicityReports = detectAtomicityCoverage(p, st, budget, workers, opts, mc)
 		} else {
-			res.AtomicityReports = detectAtomicity(p, st, detectRuns, workers, mc)
+			res.AtomicityReports = detectAtomicity(p, st, detectRuns, workers, opts.Engine, mc)
 		}
 		for _, ar := range res.AtomicityReports {
 			in, stack, ok := atomicity.ReadSideOf(ar)
@@ -523,7 +535,7 @@ func Run(p Program, opts Options) (*Result, error) {
 // fanning the runs over the stage's supervised pool and merging
 // violations by ID in seed order (so the output is independent of worker
 // count). A quarantined or lost run contributes no reports.
-func detectAtomicity(p Program, st *supervise.StageRun, runs, workers int, mc *metrics.Collector) []*atomicity.Report {
+func detectAtomicity(p Program, st *supervise.StageRun, runs, workers int, eng interp.Engine, mc *metrics.Collector) []*atomicity.Report {
 	perSeed := make([][]*atomicity.Report, runs)
 	st.ForEach(0, runs, workers, func(_ context.Context, i int) error {
 		if err := st.Inject(i); err != nil {
@@ -533,7 +545,7 @@ func detectAtomicity(p Program, st *supervise.StageRun, runs, workers int, mc *m
 		m, err := interp.New(interp.Config{
 			Module: p.Module, Entry: p.Entry, Args: p.Args, Inputs: p.Inputs,
 			MaxSteps: st.StepBudget(i, p.MaxSteps), Sched: sched.NewRandom(uint64(i + 1)),
-			Observers: []interp.Observer{d},
+			Observers: []interp.Observer{d}, Engine: eng,
 		})
 		if err != nil {
 			return fmt.Errorf("build machine: %w", err)
@@ -541,6 +553,7 @@ func detectAtomicity(p Program, st *supervise.StageRun, runs, workers int, mc *m
 		if m.Run().MaxStepsHit {
 			mc.Count("interp.max_steps_hit", 1)
 		}
+		flushMachineMetrics(m, mc)
 		perSeed[i] = d.Reports()
 		return nil
 	})
@@ -565,7 +578,7 @@ func detectAtomicity(p Program, st *supervise.StageRun, runs, workers int, mc *m
 // slices are shared, each written by exactly one worker. Reports merge by
 // ID in seed order, so the result is identical for any worker count; a
 // quarantined or lost run leaves its slot empty and the survivors merge.
-func detect(p Program, st *supervise.StageRun, runs, workers int, benign *race.Annotations, mc *metrics.Collector) []*race.Report {
+func detect(p Program, st *supervise.StageRun, runs, workers int, benign *race.Annotations, eng interp.Engine, mc *metrics.Collector) []*race.Report {
 	perSeed := make([][]*race.Report, runs)
 	st.ForEach(0, runs, workers, func(_ context.Context, i int) error {
 		if err := st.Inject(i); err != nil {
@@ -576,7 +589,7 @@ func detect(p Program, st *supervise.StageRun, runs, workers int, benign *race.A
 		m, err := interp.New(interp.Config{
 			Module: p.Module, Entry: p.Entry, Args: p.Args, Inputs: p.Inputs,
 			MaxSteps: st.StepBudget(i, p.MaxSteps), Sched: sched.NewRandom(uint64(i + 1)),
-			Observers: []interp.Observer{d},
+			Observers: []interp.Observer{d}, Engine: eng,
 		})
 		if err != nil {
 			return fmt.Errorf("build machine: %w", err)
@@ -584,6 +597,7 @@ func detect(p Program, st *supervise.StageRun, runs, workers int, benign *race.A
 		if m.Run().MaxStepsHit {
 			mc.Count("interp.max_steps_hit", 1)
 		}
+		flushMachineMetrics(m, mc)
 		d.FlushMetrics(mc) // Collector.Count is mutex-guarded; safe per worker
 		perSeed[i] = d.Reports()
 		return nil
@@ -612,12 +626,12 @@ func detect(p Program, st *supervise.StageRun, runs, workers int, benign *race.A
 // the result is byte-identical for any worker count. Fault-injection run
 // indices count globally across rounds. It returns the merged reports
 // and the number of runs actually spent.
-func detectCoverage(p Program, st *supervise.StageRun, budget, workers int, benign *race.Annotations, seed uint64, snapEntries int, mc *metrics.Collector) ([]*race.Report, int) {
+func detectCoverage(p Program, st *supervise.StageRun, budget, workers int, benign *race.Annotations, opts Options, mc *metrics.Collector) ([]*race.Report, int) {
 	var snap *sched.SnapCache
-	if snapEntries > 0 {
-		snap = sched.NewSnapCache(snapEntries)
+	if opts.SnapCache > 0 {
+		snap = sched.NewSnapCache(opts.SnapCache)
 	}
-	eng := sched.NewEngine(sched.EngineConfig{Budget: budget, Seed: seed, PCTSteps: p.MaxSteps, Snap: snap})
+	eng := sched.NewEngine(sched.EngineConfig{Budget: budget, Seed: opts.Seed, PCTSteps: p.MaxSteps, Snap: snap})
 	merged := map[string]*race.Report{}
 	var order []*race.Report
 	base := 0
@@ -636,6 +650,7 @@ func detectCoverage(p Program, st *supervise.StageRun, budget, workers int, beni
 				MaxSteps: st.StepBudget(idx, p.MaxSteps), Sched: j.Sched,
 				Observers:       []interp.Observer{d},
 				SwitchObservers: []interp.SwitchObserver{j.Cov},
+				Engine:          opts.Engine,
 			})
 			if err != nil {
 				return fmt.Errorf("run machine: %w", err)
@@ -643,6 +658,7 @@ func detectCoverage(p Program, st *supervise.StageRun, budget, workers int, beni
 			if m.Result().MaxStepsHit {
 				mc.Count("interp.max_steps_hit", 1)
 			}
+			flushMachineMetrics(m, mc)
 			d.FlushMetrics(mc)
 			perJob[i] = d.Reports()
 			return nil
@@ -672,12 +688,12 @@ func detectCoverage(p Program, st *supervise.StageRun, budget, workers int, beni
 
 // detectAtomicityCoverage is detectCoverage for the CTrigger-style
 // atomicity detector.
-func detectAtomicityCoverage(p Program, st *supervise.StageRun, budget, workers int, seed uint64, snapEntries int, mc *metrics.Collector) []*atomicity.Report {
+func detectAtomicityCoverage(p Program, st *supervise.StageRun, budget, workers int, opts Options, mc *metrics.Collector) []*atomicity.Report {
 	var snap *sched.SnapCache
-	if snapEntries > 0 {
-		snap = sched.NewSnapCache(snapEntries)
+	if opts.SnapCache > 0 {
+		snap = sched.NewSnapCache(opts.SnapCache)
 	}
-	eng := sched.NewEngine(sched.EngineConfig{Budget: budget, Seed: seed, PCTSteps: p.MaxSteps, Snap: snap})
+	eng := sched.NewEngine(sched.EngineConfig{Budget: budget, Seed: opts.Seed, PCTSteps: p.MaxSteps, Snap: snap})
 	merged := map[string]*atomicity.Report{}
 	var order []*atomicity.Report
 	base := 0
@@ -695,6 +711,7 @@ func detectAtomicityCoverage(p Program, st *supervise.StageRun, budget, workers 
 				MaxSteps: st.StepBudget(idx, p.MaxSteps), Sched: j.Sched,
 				Observers:       []interp.Observer{d},
 				SwitchObservers: []interp.SwitchObserver{j.Cov},
+				Engine:          opts.Engine,
 			})
 			if err != nil {
 				return fmt.Errorf("run machine: %w", err)
@@ -702,6 +719,7 @@ func detectAtomicityCoverage(p Program, st *supervise.StageRun, budget, workers 
 			if m.Result().MaxStepsHit {
 				mc.Count("interp.max_steps_hit", 1)
 			}
+			flushMachineMetrics(m, mc)
 			perJob[i] = d.Reports()
 			return nil
 		})
@@ -746,6 +764,21 @@ func flushEngineMetrics(res *sched.EngineResult, mc *metrics.Collector) {
 	}
 }
 
+// flushMachineMetrics threads one detect-run machine's compiled-engine
+// accounting into the collector; a no-op under the tree engine. Along
+// with the interp.engine gauge, bytecode.compile_ns (a memoized
+// per-module constant, so a last-wins gauge) and the
+// bytecode.superinstr_hits dispatch statistic are the only metrics
+// allowed to differ between engines — everything else the pipeline
+// emits is covered by the cross-engine determinism gate.
+func flushMachineMetrics(m *interp.Machine, mc *metrics.Collector) {
+	if m.Engine() != interp.EngineBytecode {
+		return
+	}
+	mc.Gauge("bytecode.compile_ns", float64(m.CompileNS()))
+	mc.Count("bytecode.superinstr_hits", m.SuperinstrHits())
+}
+
 // flushSnapMetrics threads one stage's snapshot-cache accounting into
 // the collector. These are the only counters allowed to differ between
 // snapshotting on and off; everything else the pipeline emits is
@@ -773,11 +806,11 @@ func containsID(ids []string, id string) bool {
 }
 
 // factory builds verification machines for the program.
-func factory(p Program) raceverify.MachineFactory {
+func factory(p Program, eng interp.Engine) raceverify.MachineFactory {
 	return func(s interp.Scheduler, bp interp.BreakpointFunc) (*interp.Machine, error) {
 		return interp.New(interp.Config{
 			Module: p.Module, Entry: p.Entry, Args: p.Args, Inputs: p.Inputs,
-			MaxSteps: p.MaxSteps, Sched: s, Breakpoint: bp,
+			MaxSteps: p.MaxSteps, Sched: s, Breakpoint: bp, Engine: eng,
 		})
 	}
 }

@@ -81,6 +81,7 @@ func detectPredict(p Program, st *supervise.StageRun, budget, workers int, benig
 				MaxSteps: st.StepBudget(idx, p.MaxSteps), Sched: runSched,
 				Observers:       []interp.Observer{d, rec},
 				SwitchObservers: []interp.SwitchObserver{j.Cov},
+				Engine:          opts.Engine,
 			})
 			if err != nil {
 				return fmt.Errorf("run machine: %w", err)
@@ -88,6 +89,7 @@ func detectPredict(p Program, st *supervise.StageRun, budget, workers int, benig
 			if m.Result().MaxStepsHit {
 				mc.Count("interp.max_steps_hit", 1)
 			}
+			flushMachineMetrics(m, mc)
 			d.FlushMetrics(mc)
 			perJob[i] = d.Reports()
 			if isDS {
@@ -170,7 +172,7 @@ func detectPredict(p Program, st *supervise.StageRun, budget, workers int, benig
 		i := idx - base
 		reports, hit, err := cf.Confirm(interp.Config{
 			Module: p.Module, Entry: p.Entry, Args: p.Args, Inputs: p.Inputs,
-			MaxSteps: st.StepBudget(idx, p.MaxSteps),
+			MaxSteps: st.StepBudget(idx, p.MaxSteps), Engine: opts.Engine,
 		}, benign, cands[i])
 		if err != nil {
 			return fmt.Errorf("confirm %s: %w", cands[i].Pair.ID(), err)

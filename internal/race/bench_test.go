@@ -48,9 +48,15 @@ entry:
 // attached, asserting races were found when a detector is present.
 func benchRun(b *testing.B, mod *ir.Module, obs ...interp.Observer) {
 	b.Helper()
+	benchRunEngine(b, mod, interp.EngineTree, obs...)
+}
+
+// benchRunEngine is benchRun parameterized over the execution engine.
+func benchRunEngine(b *testing.B, mod *ir.Module, engine interp.Engine, obs ...interp.Observer) {
+	b.Helper()
 	m, err := interp.New(interp.Config{
 		Module: mod, Sched: sched.NewRoundRobin(1),
-		Observers: obs, MaxSteps: 100000,
+		Observers: obs, MaxSteps: 100000, Engine: engine,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -124,5 +130,33 @@ func BenchmarkBaselineNoDetector(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		benchRun(b, mod)
+	}
+}
+
+// BenchmarkBaselineNoDetectorBytecode is the compiled-engine arm of the
+// baseline: same program, same schedule, flat bytecode with
+// superinstructions and the batched no-observer run loop. (The one-time
+// module lowering is memoized, so it amortizes to zero across
+// iterations — exactly how owl's explorers reuse a module.)
+func BenchmarkBaselineNoDetectorBytecode(b *testing.B) {
+	mod := ir.MustParse("bench.oir", benchSrc)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchRunEngine(b, mod, interp.EngineBytecode)
+	}
+}
+
+// BenchmarkDetectorOverheadBytecode measures the epoch detector on the
+// compiled engine — the observer path disables step batching's
+// zero-interface-call property but keeps slot-file and dispatch wins.
+func BenchmarkDetectorOverheadBytecode(b *testing.B) {
+	mod := ir.MustParse("bench.oir", benchSrc)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := NewDetector()
+		benchRunEngine(b, mod, interp.EngineBytecode, d)
+		if len(d.Reports()) == 0 {
+			b.Fatal("expected races")
+		}
 	}
 }

@@ -167,6 +167,13 @@ func TestDifferentialWithAnnotations(t *testing.T) {
 // re-reads and re-writes one global, with the given observers attached.
 func stepLoop(t testing.TB, observers ...interp.Observer) *interp.Machine {
 	t.Helper()
+	return stepLoopEngine(t, interp.EngineTree, observers...)
+}
+
+// stepLoopEngine is stepLoop parameterized over the execution engine,
+// so the allocation pins apply to the compiled engine too.
+func stepLoopEngine(t testing.TB, engine interp.Engine, observers ...interp.Observer) *interp.Machine {
+	t.Helper()
 	const src = `
 global @x = 0
 
@@ -193,6 +200,7 @@ done:
 	m, err := interp.New(interp.Config{
 		Module: mod, Sched: sched.NewRoundRobin(1),
 		MaxSteps: 100_000_000, Observers: observers,
+		Engine: engine,
 	})
 	if err != nil {
 		t.Fatalf("new machine: %v", err)

@@ -264,3 +264,81 @@ var errTest = errTestType{}
 type errTestType struct{}
 
 func (errTestType) Error() string { return "test error" }
+
+// TestPlanAdvanceMatchesNext is the PlanningScheduler contract property:
+// for every planner, runnable set, and consumed prefix length k, calling
+// Plan then Advance(k) must leave the scheduler in exactly the state k
+// plain Next calls would, and the planned entries must be the picks Next
+// would have made. The interpreter's batched dispatch loop relies on
+// this being exact — any divergence would silently change schedules.
+func TestPlanAdvanceMatchesNext(t *testing.T) {
+	sets := [][]interp.ThreadID{
+		ids(0),
+		ids(0, 1),
+		ids(0, 1, 2),
+		ids(1, 3, 7),
+		ids(0, 2, 4, 5, 9),
+	}
+	type mk struct {
+		name string
+		new  func() interp.Scheduler
+	}
+	var makers []mk
+	for q := 1; q <= 4; q++ {
+		q := q
+		makers = append(makers, mk{
+			name: "rr-q" + string(rune('0'+q)),
+			new:  func() interp.Scheduler { return NewRoundRobin(q) },
+		})
+	}
+	for seed := uint64(1); seed <= 3; seed++ {
+		seed := seed
+		makers = append(makers, mk{
+			name: "random",
+			new:  func() interp.Scheduler { return NewRandom(seed) },
+		})
+	}
+	for _, m := range makers {
+		for _, runnable := range sets {
+			for window := 1; window <= 9; window += 2 {
+				for k := 0; k <= window; k++ {
+					// Oracle: a fresh scheduler driven warm (a few Next calls
+					// first, so mid-run state like last/used is exercised),
+					// then k more Next picks.
+					warm := 3
+					oracle := m.new().(interp.PlanningScheduler)
+					subject := m.new().(interp.PlanningScheduler)
+					for w := 0; w < warm; w++ {
+						oracle.(interp.Scheduler).Next(runnable, w)
+						subject.(interp.Scheduler).Next(runnable, w)
+					}
+					var wantPicks []interp.ThreadID
+					for i := 0; i < k; i++ {
+						wantPicks = append(wantPicks, oracle.(interp.Scheduler).Next(runnable, warm+i))
+					}
+					buf := make([]interp.ThreadID, window)
+					n := subject.Plan(runnable, warm, buf)
+					if n != window {
+						t.Fatalf("%s runnable=%v: Plan filled %d of %d", m.name, runnable, n, window)
+					}
+					for i := 0; i < k; i++ {
+						if buf[i] != wantPicks[i] {
+							t.Fatalf("%s runnable=%v window=%d: plan[%d]=%d, Next would pick %d",
+								m.name, runnable, window, i, buf[i], wantPicks[i])
+						}
+					}
+					subject.Advance(runnable, warm, k)
+					// The states must now agree: every future pick matches.
+					for i := 0; i < 2*len(runnable)+3; i++ {
+						w := oracle.(interp.Scheduler).Next(runnable, warm+k+i)
+						g := subject.(interp.Scheduler).Next(runnable, warm+k+i)
+						if g != w {
+							t.Fatalf("%s runnable=%v window=%d k=%d: post-Advance pick %d = %d, want %d",
+								m.name, runnable, window, k, i, g, w)
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -334,8 +334,7 @@ func (c *SnapCache) RunMachine(cfg interp.Config) (*interp.Machine, error) {
 		}
 	}
 	ss.m = m
-	for m.Step() {
-	}
+	m.RunLoop()
 	c.addCow(m.Mem().CowPagesCopied())
 	return m, nil
 }

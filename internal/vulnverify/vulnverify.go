@@ -168,8 +168,8 @@ func runWithBranchWatch(m *interp.Machine, maxSteps int, watch func(*ir.Instr, b
 			// The branch executed; its thread has moved to a successor
 			// block. Determine which arm by the thread's new block.
 			t := m.Thread(last)
-			if fr := t.Top(); fr != nil && fr.Block != nil {
-				watch(in, fr.Block.Name == in.Args[1].Name)
+			if fr := t.Top(); fr != nil && fr.CurBlock() != nil {
+				watch(in, fr.CurBlock().Name == in.Args[1].Name)
 			}
 		}
 	}

@@ -136,3 +136,54 @@ func TestUnreachableSiteReportsDivergedBranches(t *testing.T) {
 		t.Errorf("branch executions not counted")
 	}
 }
+
+// TestEngineOutcomesIdentical pins the verifier to the cross-engine
+// contract: outcomes (reachability, consequences, and every diverged-
+// branch hint including the Taken arm) must be byte-identical whether
+// the replay machines run the tree walker or the compiled engine. The
+// branch watcher reads the executing frame's block after each step, so
+// it must go through the engine-neutral Frame.CurBlock — reading the
+// Block field directly reports a stale arm on compiled frames.
+func TestEngineOutcomesIdentical(t *testing.T) {
+	cases := []struct {
+		name, src, global, callee string
+	}{
+		{"reachable", reachableSrc, "dying", "strcpy"},
+		{"unreachable", unreachableSrc, "gate", "memset"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mod, findings := analyze(t, tc.src, tc.global)
+			f := findSite(t, findings, tc.callee)
+			engFactory := func(eng interp.Engine) raceverify.MachineFactory {
+				return func(s interp.Scheduler, bp interp.BreakpointFunc) (*interp.Machine, error) {
+					return interp.New(interp.Config{
+						Module: mod, Sched: s, Breakpoint: bp,
+						MaxSteps: 100000, Engine: eng,
+					})
+				}
+			}
+			v := New()
+			v.Attempts = 3
+			tree, err := v.Verify(engFactory(interp.EngineTree), f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			comp, err := v.Verify(engFactory(interp.EngineBytecode), f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tree.String() != comp.String() {
+				t.Errorf("engine outcomes diverge:\ntree:     %s\nbytecode: %s", tree, comp)
+			}
+			if len(tree.Branches) != len(comp.Branches) {
+				t.Fatalf("branch hint counts diverge: %d vs %d", len(tree.Branches), len(comp.Branches))
+			}
+			for i := range tree.Branches {
+				if tree.Branches[i] != comp.Branches[i] {
+					t.Errorf("branch hint %d diverges: %+v vs %+v", i, tree.Branches[i], comp.Branches[i])
+				}
+			}
+		})
+	}
+}
