@@ -1,7 +1,9 @@
 # Tier-1 gate and benchmark targets for the OWL reproduction.
 #
 #   make ci              build + vet + test -race + faults + predict (the tier-1 gate)
-#   make test            plain test run
+#   make test            plain test run (-shuffle=on; seed echoed into the log)
+#   make serve-gate      analysis-service gate under -race (drain, backpressure, resume)
+#   make loadtest        in-process serve load harness -> BENCH_serve.json
 #   make faults          fault-injection suite under -race + canned-plan CLI runs
 #   make predict         predictor suites under -race + confirm-differential gate
 #   make engine-diff     cross-engine differential gate (tree vs bytecode)
@@ -22,11 +24,12 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: ci build vet test race faults predict engine-diff fmt-check golden \
-	golden-bytecode golden-update profile bench bench-smoke bench-pipeline \
-	bench-detector bench-explore bench-predict bench-interp bench-summary clean
+.PHONY: ci build vet test race serve-gate loadtest faults predict engine-diff \
+	fmt-check golden golden-bytecode golden-update profile bench bench-smoke \
+	bench-pipeline bench-detector bench-explore bench-predict bench-interp \
+	bench-summary clean
 
-ci: build vet race faults predict engine-diff golden-bytecode
+ci: build vet race serve-gate faults predict engine-diff golden-bytecode
 
 build:
 	$(GO) build ./...
@@ -34,11 +37,33 @@ build:
 vet:
 	$(GO) vet ./...
 
+# -shuffle=on randomizes test and subtest execution order so hidden
+# inter-test coupling surfaces instead of fossilizing; the chosen seed is
+# printed at the top of each package's output (`-test.shuffle N`), so a
+# CI failure is reproducible with `go test -shuffle=N`.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
+
+# Analysis-service gate (docs/SERVE.md): the serve suite under -race —
+# queue backpressure (429 + Retry-After), tenant quotas, graceful drain
+# finishing in-flight jobs, cross-submission resume determinism, and the
+# cmd/owl output-parity check — plus the live-scrape contract of the
+# metrics collector the /metrics endpoint depends on.
+serve-gate:
+	$(GO) test -race -count=1 -shuffle=on ./internal/serve/ ./internal/metrics/
+	@echo "serve gate passed"
+
+# In-process load harness (tools/loadgen): ~1000 concurrent submissions
+# through the full HTTP path of the analysis service; p50/p99/mean
+# latency and sustained throughput land in BENCH_serve.json as a
+# test2json stream bench-summary folds in with the other benchmarks.
+# CI runs the short profile: make loadtest LOADGEN_FLAGS="-profile short".
+LOADGEN_FLAGS ?= -profile full
+loadtest:
+	$(GO) run ./tools/loadgen $(LOADGEN_FLAGS) > BENCH_serve.json
 
 # Fault-injection gate (docs/ROBUSTNESS.md): the supervisor/fault suites
 # under -race, then the three canned plans in testdata/faults/ driven
@@ -186,5 +211,6 @@ bench-summary:
 
 clean:
 	rm -f BENCH_pipeline.json BENCH_detector.json BENCH_explore.json \
-		BENCH_predict.json BENCH_interp.json BENCH_smoke.json BENCH_summary.json \
-		BENCH_golden_actual.txt BENCH_golden_bytecode.txt cpu.pprof mem.pprof
+		BENCH_predict.json BENCH_interp.json BENCH_smoke.json BENCH_serve.json \
+		BENCH_summary.json BENCH_golden_actual.txt BENCH_golden_bytecode.txt \
+		cpu.pprof mem.pprof

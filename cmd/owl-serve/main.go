@@ -1,0 +1,90 @@
+// Command owl-serve runs the always-on OWL analysis service: an
+// HTTP/JSON API over the owl.Run pipeline with a bounded sharded job
+// queue, per-tenant quotas, SSE progress streams, and a content-hash
+// keyed store that accumulates exploration state so repeat submissions
+// of a program resume its schedule search instead of restarting it.
+//
+// Usage:
+//
+//	owl-serve [-addr :8080] [-shards 4] [-queue 64] [-workers 1]
+//	          [-snap-entries 64] [-tenant-quota 16] [-drain-timeout 30s]
+//
+// SIGINT/SIGTERM triggers a graceful drain: the listener stops
+// accepting, queued and running jobs finish, then the process exits.
+// See docs/SERVE.md for the API.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/conanalysis/owl/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "owl-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("owl-serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	shards := fs.Int("shards", 4, "shard queues (jobs for one program serialize on one shard)")
+	queue := fs.Int("queue", 64, "per-shard queue depth (full queue → 429 + Retry-After)")
+	workers := fs.Int("workers", 1, "default per-job pipeline worker-pool size")
+	snapEntries := fs.Int("snap-entries", 64, "persistent snapshot-cache entries per stored program (0 = off)")
+	tenantQuota := fs.Int("tenant-quota", 16, "max queued+running jobs per tenant")
+	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight jobs on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := serve.New(serve.Config{
+		Shards:      *shards,
+		QueueDepth:  *queue,
+		Workers:     *workers,
+		SnapEntries: *snapEntries,
+		TenantQuota: *tenantQuota,
+		RetryAfter:  *retryAfter,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() {
+		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "owl-serve: %s: draining\n", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop the listener first so no new submissions land, then let the
+	// shard queues run dry.
+	if err := hs.Shutdown(ctx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "owl-serve: drained")
+	return nil
+}

@@ -142,13 +142,7 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "owl: warning: %s\n", d.String())
 	}
 
-	fmt.Print(report.Summary(name, res))
-	if rb := report.Robustness(res); rb != "" {
-		fmt.Print(rb)
-	}
-	if len(res.PredictedConfirmed) > 0 {
-		fmt.Printf("predicted races confirmed by steered replay: %d\n", len(res.PredictedConfirmed))
-	}
+	fmt.Print(report.Text(name, res))
 	if !*own.verbose {
 		return nil
 	}

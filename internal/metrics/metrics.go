@@ -9,6 +9,13 @@
 //
 // All methods are safe for concurrent use and are no-ops on a nil
 // *Collector, so call sites thread an optional collector without guards.
+// That includes Snapshot/WriteJSON racing against recording: a live
+// scrape (the serve layer's /metrics endpoint) may run while pipeline
+// stages are still counting, and sees a consistent point-in-time view.
+// Everything hangs off one short-critical-section mutex — the
+// single-writer batch path pays one uncontended lock per record, which
+// the detector-step benchmarks show is noise; TestCollectorConcurrentScrape
+// is the -race regression gate for the scrape-while-recording contract.
 package metrics
 
 import (
@@ -126,6 +133,40 @@ func (c *Collector) Gauge(name string, v float64) {
 	c.mu.Lock()
 	c.gauges[name] = v
 	c.mu.Unlock()
+}
+
+// Merge folds another collector's current state into c: stage wall/busy
+// times and invocation counts add, pool widths take the max, counters
+// add, and gauges take o's value (last write wins, matching Gauge). The
+// analysis service uses this to fold each finished job's private
+// collector into the live server collector that /metrics scrapes, so
+// per-job accounting composes without sharing one collector across
+// concurrently running pipelines. o is snapshotted first (under its own
+// lock), so merging a collector that is still being written to is safe —
+// the merge sees a consistent point-in-time view. Merging c into itself
+// is not supported. Nil receiver or argument is a no-op.
+func (c *Collector) Merge(o *Collector) {
+	if c == nil || o == nil {
+		return
+	}
+	rep := o.Snapshot()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, sr := range rep.Stages {
+		s := c.stageFor(sr.Name)
+		s.wall += sr.Wall
+		s.busy += sr.Busy
+		s.count += sr.Count
+		if sr.Workers > s.workers {
+			s.workers = sr.Workers
+		}
+	}
+	for _, cr := range rep.Counters {
+		c.counters[cr.Name] += cr.Value
+	}
+	for _, gr := range rep.Gauges {
+		c.gauges[gr.Name] = gr.Value
+	}
 }
 
 // StageReport is one stage's snapshot in a Report.

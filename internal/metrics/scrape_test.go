@@ -1,0 +1,155 @@
+package metrics
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCollectorConcurrentScrape is the -race regression gate for live
+// scraping: Snapshot/WriteJSON must be safe while counters, gauges,
+// stage timers, and pool busy-time are being recorded from many
+// goroutines — the exact shape the serve layer's /metrics endpoint
+// creates when it scrapes the server collector mid-pipeline.
+func TestCollectorConcurrentScrape(t *testing.T) {
+	c := New()
+	const writers = 8
+	const iters = 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				done := c.Stage("scrape.stage")
+				c.Count("scrape.counter", 1)
+				c.Gauge("scrape.gauge", float64(i))
+				c.Flag("scrape.flag", i%2 == 0)
+				c.AddBusy("scrape.stage", time.Microsecond)
+				c.SetWorkers("scrape.stage", w+1)
+				done()
+			}
+		}(w)
+	}
+
+	// Scrapers: repeated snapshots and JSON emission while writers run.
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rep := c.Snapshot()
+				if len(rep.Counters) > 1 {
+					t.Error("unexpected extra counters in scrape")
+					return
+				}
+				if err := c.WriteJSON(io.Discard); err != nil {
+					t.Errorf("WriteJSON during recording: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	// A merger folding job-local collectors in while scrapes run, the
+	// serve layer's end-of-job path.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			jc := New()
+			jc.Count("scrape.merged", 2)
+			jc.Stage("scrape.mergedstage")()
+			c.Merge(jc)
+		}
+	}()
+
+	// Writers + merger finish first, then release the scrapers.
+	waitWriters := make(chan struct{})
+	go func() {
+		defer close(waitWriters)
+		wg.Wait()
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	<-waitWriters
+
+	rep := c.Snapshot()
+	var total int64
+	for _, cr := range rep.Counters {
+		switch cr.Name {
+		case "scrape.counter":
+			total = cr.Value
+		case "scrape.merged":
+			if cr.Value != 100 {
+				t.Errorf("merged counter = %d, want 100", cr.Value)
+			}
+		}
+	}
+	if total != writers*iters {
+		t.Errorf("counter = %d, want %d (lost updates)", total, writers*iters)
+	}
+}
+
+// TestCollectorMerge pins the fold semantics: stages add (workers max),
+// counters add, gauges last-write-win, and nil endpoints are no-ops.
+func TestCollectorMerge(t *testing.T) {
+	a, b := New(), New()
+	a.Count("jobs", 3)
+	a.Gauge("depth", 1)
+	aDone := a.Stage("detect")
+	time.Sleep(time.Millisecond)
+	aDone()
+	a.SetWorkers("detect", 2)
+	a.AddBusy("detect", 5*time.Millisecond)
+
+	b.Count("jobs", 4)
+	b.Count("extra", 1)
+	b.Gauge("depth", 9)
+	bDone := b.Stage("detect")
+	time.Sleep(time.Millisecond)
+	bDone()
+	b.SetWorkers("detect", 8)
+	b.AddBusy("detect", 7*time.Millisecond)
+
+	a.Merge(b)
+	rep := a.Snapshot()
+	counters := map[string]int64{}
+	for _, c := range rep.Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters["jobs"] != 7 || counters["extra"] != 1 {
+		t.Errorf("counters = %v, want jobs=7 extra=1", counters)
+	}
+	for _, g := range rep.Gauges {
+		if g.Name == "depth" && g.Value != 9 {
+			t.Errorf("gauge depth = %v, want 9 (last write wins)", g.Value)
+		}
+	}
+	if len(rep.Stages) != 1 {
+		t.Fatalf("stages = %+v, want one merged stage", rep.Stages)
+	}
+	st := rep.Stages[0]
+	if st.Count != 2 {
+		t.Errorf("stage count = %d, want 2", st.Count)
+	}
+	if st.Workers != 8 {
+		t.Errorf("stage workers = %d, want max(2,8)", st.Workers)
+	}
+	if st.Busy < 12*time.Millisecond {
+		t.Errorf("stage busy = %v, want >= 12ms (sums)", st.Busy)
+	}
+
+	// Nil safety both ways.
+	var nilC *Collector
+	nilC.Merge(a)
+	a.Merge(nil)
+}

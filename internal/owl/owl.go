@@ -103,6 +103,20 @@ type Options struct {
 	// themselves appear); 0 disables snapshotting. Ignored in fixed mode.
 	SnapCache int
 
+	// ExploreState, when non-nil, makes the *initial* coverage-guided
+	// detect stage resume from — and fold back into — persistent
+	// cross-run exploration state (sched.ExploreState): the engine starts
+	// pre-seeded with the state's accumulated coverage and seen-report
+	// set (so a repeat run of an already-explored program saturates and
+	// early-stops after a fraction of the budget) and, when the state
+	// carries one, its persistent snapshot cache. Only consulted when
+	// Explore is ExploreCoverage and Predict is off; the ad-hoc re-run
+	// and atomicity stages always explore fresh (their detector
+	// configuration differs, so mixing their scores into the shared state
+	// would poison resume decisions). The state must have been built for
+	// this exact Module value — coverage keys are instruction identities.
+	ExploreState *sched.ExploreState
+
 	// Predict switches the detect stages to predictive race detection
 	// (-predict; docs/PREDICTION.md): roughly half the budget executes
 	// coverage-guided seed schedules whose synchronization traces feed a
@@ -320,7 +334,14 @@ func Run(p Program, opts Options) (*Result, error) {
 			return reports
 		}
 		if opts.Explore == ExploreCoverage {
-			reports, runs := detectCoverage(p, st, budget, workers, benign, opts, mc)
+			// Persistent state resumes only the initial detect stage: the
+			// re-run explores under benign annotations, whose scores must
+			// not contaminate the cross-run map.
+			var resume *sched.ExploreState
+			if benign == nil {
+				resume = opts.ExploreState
+			}
+			reports, runs := detectCoverage(p, st, budget, workers, benign, resume, opts, mc)
 			mc.Count("owl.detect_runs", int64(runs))
 			return reports
 		}
@@ -626,12 +647,15 @@ func detect(p Program, st *supervise.StageRun, runs, workers int, benign *race.A
 // the result is byte-identical for any worker count. Fault-injection run
 // indices count globally across rounds. It returns the merged reports
 // and the number of runs actually spent.
-func detectCoverage(p Program, st *supervise.StageRun, budget, workers int, benign *race.Annotations, opts Options, mc *metrics.Collector) ([]*race.Report, int) {
+func detectCoverage(p Program, st *supervise.StageRun, budget, workers int, benign *race.Annotations, resume *sched.ExploreState, opts Options, mc *metrics.Collector) ([]*race.Report, int) {
 	var snap *sched.SnapCache
-	if opts.SnapCache > 0 {
+	if resume != nil && resume.SnapCache() != nil {
+		snap = resume.SnapCache()
+	} else if opts.SnapCache > 0 {
 		snap = sched.NewSnapCache(opts.SnapCache)
 	}
-	eng := sched.NewEngine(sched.EngineConfig{Budget: budget, Seed: opts.Seed, PCTSteps: p.MaxSteps, Snap: snap})
+	snapBase := snap.Stats()
+	eng := sched.NewEngine(sched.EngineConfig{Budget: budget, Seed: opts.Seed, PCTSteps: p.MaxSteps, Snap: snap, Resume: resume})
 	merged := map[string]*race.Report{}
 	var order []*race.Report
 	base := 0
@@ -681,8 +705,9 @@ func detectCoverage(p Program, st *supervise.StageRun, budget, workers int, beni
 		}
 		return nil
 	})
+	resume.Absorb(eng)
 	flushEngineMetrics(res, mc)
-	flushSnapMetrics(snap, mc)
+	flushSnapMetrics(snap, snapBase, mc)
 	return order, res.Runs
 }
 
@@ -693,6 +718,7 @@ func detectAtomicityCoverage(p Program, st *supervise.StageRun, budget, workers 
 	if opts.SnapCache > 0 {
 		snap = sched.NewSnapCache(opts.SnapCache)
 	}
+	snapBase := snap.Stats()
 	eng := sched.NewEngine(sched.EngineConfig{Budget: budget, Seed: opts.Seed, PCTSteps: p.MaxSteps, Snap: snap})
 	merged := map[string]*atomicity.Report{}
 	var order []*atomicity.Report
@@ -742,7 +768,7 @@ func detectAtomicityCoverage(p Program, st *supervise.StageRun, budget, workers 
 		return nil
 	})
 	flushEngineMetrics(res, mc)
-	flushSnapMetrics(snap, mc)
+	flushSnapMetrics(snap, snapBase, mc)
 	return order
 }
 
@@ -780,20 +806,24 @@ func flushMachineMetrics(m *interp.Machine, mc *metrics.Collector) {
 }
 
 // flushSnapMetrics threads one stage's snapshot-cache accounting into
-// the collector. These are the only counters allowed to differ between
-// snapshotting on and off; everything else the pipeline emits is
-// covered by the byte-identical determinism gate.
-func flushSnapMetrics(snap *sched.SnapCache, mc *metrics.Collector) {
+// the collector, as the delta since the stage began — a persistent
+// cross-run cache (Options.ExploreState) carries lifetime totals, and a
+// per-run collector must report only this run's share. For the fresh
+// per-stage caches the base is zero, so nothing changes there. These
+// are the only counters allowed to differ between snapshotting on and
+// off; everything else the pipeline emits is covered by the
+// byte-identical determinism gate.
+func flushSnapMetrics(snap *sched.SnapCache, base sched.SnapStats, mc *metrics.Collector) {
 	if snap == nil {
 		return
 	}
 	st := snap.Stats()
-	mc.Count("sched.snap_hits", st.Hits)
-	mc.Count("sched.snap_misses", st.Misses)
-	mc.Count("sched.snap_stores", st.Stores)
-	mc.Count("sched.snap_evictions", st.Evictions)
-	mc.Count("sched.snap_resume_steps_saved", st.StepsSaved)
-	mc.Count("interp.cow_pages_copied", st.CowPages)
+	mc.Count("sched.snap_hits", st.Hits-base.Hits)
+	mc.Count("sched.snap_misses", st.Misses-base.Misses)
+	mc.Count("sched.snap_stores", st.Stores-base.Stores)
+	mc.Count("sched.snap_evictions", st.Evictions-base.Evictions)
+	mc.Count("sched.snap_resume_steps_saved", st.StepsSaved-base.StepsSaved)
+	mc.Count("interp.cow_pages_copied", st.CowPages-base.CowPages)
 }
 
 func containsID(ids []string, id string) bool {

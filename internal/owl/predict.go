@@ -205,6 +205,7 @@ func detectPredict(p Program, st *supervise.StageRun, budget, workers int, benig
 	if saved := int64(budget - runs); saved > 0 {
 		mc.Count("predict.schedules_saved", saved)
 	}
-	flushSnapMetrics(snap, mc)
+	// The cache is stage-local here, so the lifetime delta is the total.
+	flushSnapMetrics(snap, sched.SnapStats{}, mc)
 	return order, confirmed, runs
 }

@@ -118,6 +118,22 @@ func Summary(name string, res *owl.Result) string {
 	return b.String()
 }
 
+// Text renders the canonical non-verbose pipeline report: the summary,
+// the robustness block (empty on a clean run), and the
+// predicted-confirmations line. cmd/owl prints exactly this, and the
+// analysis service returns exactly this as a job's summary text — one
+// renderer is what makes the serve-vs-CLI byte-parity gate structural
+// rather than a test that chases two format strings.
+func Text(name string, res *owl.Result) string {
+	var b strings.Builder
+	b.WriteString(Summary(name, res))
+	b.WriteString(Robustness(res))
+	if len(res.PredictedConfirmed) > 0 {
+		fmt.Fprintf(&b, "predicted races confirmed by steered replay: %d\n", len(res.PredictedConfirmed))
+	}
+	return b.String()
+}
+
 // Table renders rows as a fixed-width text table; the first row is the
 // header.
 func Table(rows [][]string) string {

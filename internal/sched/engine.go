@@ -107,6 +107,14 @@ type EngineConfig struct {
 	// fidelity makes a resumed run byte-identical to a from-scratch run);
 	// only wall-clock work shrinks.
 	Snap *SnapCache
+	// Resume, when non-nil, pre-seeds the engine from a persistent
+	// ExploreState: the coverage map and seen-report set start at the
+	// state's accumulated values, so schedules the state has already
+	// covered score zero and the saturation early stop fires as soon as
+	// the program has nothing new to show. When Snap is nil the state's
+	// snapshot cache (if any) is attached too. The engine never writes
+	// the state — callers fold results back with ExploreState.Absorb.
+	Resume *ExploreState
 }
 
 func (c EngineConfig) withDefaults() EngineConfig {
@@ -170,13 +178,20 @@ type Engine struct {
 // NewEngine returns an engine for one exploration.
 func NewEngine(cfg EngineConfig) *Engine {
 	cfg = cfg.withDefaults()
+	if cfg.Resume != nil && cfg.Snap == nil {
+		cfg.Snap = cfg.Resume.SnapCache()
+	}
 	cfg.Snap.EnsureDepth(cfg.MaxDecisions)
-	return &Engine{
+	e := &Engine{
 		cfg:      cfg,
 		cov:      NewCoverage(),
 		seen:     make(map[string]bool),
 		frontier: newIPBFrontier(cfg.MaxDecisions),
 	}
+	if cfg.Resume != nil {
+		cfg.Resume.seed(e)
+	}
+	return e
 }
 
 // Coverage exposes the engine's global coverage map (read-only for

@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// maxBodyBytes bounds submission bodies (inline .oir programs are small;
+// 1 MiB is orders of magnitude above any workload).
+const maxBodyBytes = 1 << 20
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/jobs             submit a Spec  → 202 JobStatus | 429 | 503
+//	GET  /v1/jobs             list job statuses in submission order
+//	GET  /v1/jobs/{id}        one job's status (result once done)
+//	GET  /v1/jobs/{id}/stream SSE status stream until the job finishes
+//	GET  /v1/programs         the store: accumulated per-program state
+//	GET  /metrics             live metrics snapshot (pipeline + serve.*)
+//	GET  /healthz             "ok" (503 once draining)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/programs", s.handlePrograms)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "decode spec: " + err.Error()})
+		return
+	}
+	j, err := s.Submit(spec)
+	if err != nil {
+		if rej, ok := err.(*ErrRejected); ok {
+			if rej.Drain {
+				writeJSON(w, http.StatusServiceUnavailable, apiError{Error: rej.Reason})
+				return
+			}
+			// Backpressure: the client should retry once the queue or
+			// quota drains — tell it when.
+			w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds()+0.5)))
+			writeJSON(w, http.StatusTooManyRequests, apiError{Error: rej.Reason})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.Status().ID)
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// handleStream is the SSE progress stream: one `status` event per state
+// change, then a final `done` event carrying the terminal status, then
+// the stream closes. A reconnecting client just re-GETs /v1/jobs/{id}.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusNotImplemented, apiError{Error: "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	ch, cancel := j.subscribe()
+	defer cancel()
+	send := func(event string, st JobStatus) {
+		data, _ := json.Marshal(st)
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+		fl.Flush()
+	}
+	st := j.Status()
+	if st.State == StateDone || st.State == StateFailed {
+		send("done", st)
+		return
+	}
+	send("status", st)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case st := <-ch:
+			if st.State == StateDone || st.State == StateFailed {
+				send("done", st)
+				return
+			}
+			send("status", st)
+		case <-j.done:
+			send("done", j.Status())
+			return
+		}
+	}
+}
+
+func (s *Server) handlePrograms(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Programs())
+}
+
+// handleMetrics scrapes the live collector — pipeline stages and
+// counters merged from finished jobs plus the serve.* series — while
+// jobs may still be recording (the contract TestCollectorConcurrentScrape
+// pins).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.queueGauges()
+	w.Header().Set("Content-Type", "application/json")
+	s.mc.WriteJSON(w)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}

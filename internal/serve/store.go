@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/conanalysis/owl/internal/owl"
+	"github.com/conanalysis/owl/internal/sched"
+)
+
+// programState is everything the service accumulates for one program
+// content-hash key. The resolved owl.Program is pinned here on first
+// submission and reused verbatim by every later one: coverage keys are
+// *ir.Instr identities, so the ExploreState is only meaningful against
+// the exact module value it was built from (the workload registry
+// builds a fresh module per Get call — re-resolving would silently
+// orphan the accumulated coverage).
+//
+// Only one shard goroutine ever *mutates* a given programState (keys
+// route to shards by hash), but the programs endpoint scrapes all of
+// them concurrently, so the mutable accounting sits behind mu. The
+// ExploreState carries its own lock.
+type programState struct {
+	key  string
+	name string
+	prog owl.Program
+
+	state *sched.ExploreState
+
+	mu sync.Mutex
+	// reports dedups raw race reports by ID across submissions; order
+	// keeps first-seen order for deterministic listings.
+	reports     map[string]bool
+	order       []string
+	submissions int
+}
+
+// absorbRun records a completed run: its raw report IDs (returning how
+// many were new to the store) and the submission count.
+func (ps *programState) absorbRun(res *owl.Result) (fresh, known, total, submissions int) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	for _, r := range res.Raw {
+		id := r.ID()
+		if ps.reports[id] {
+			known++
+			continue
+		}
+		ps.reports[id] = true
+		ps.order = append(ps.order, id)
+		fresh++
+	}
+	ps.submissions++
+	return fresh, known, len(ps.reports), ps.submissions
+}
+
+// store maps content-hash keys to accumulated program state.
+type store struct {
+	mu          sync.Mutex
+	programs    map[string]*programState
+	snapEntries int
+}
+
+func newStore(snapEntries int) *store {
+	return &store{programs: make(map[string]*programState), snapEntries: snapEntries}
+}
+
+// get returns the state for key, creating (and pinning prog under it) on
+// first sight. The boolean reports whether the key already existed.
+func (s *store) get(key, name string, prog owl.Program) (*programState, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ps, ok := s.programs[key]; ok {
+		return ps, true
+	}
+	ps := &programState{
+		key:     key,
+		name:    name,
+		prog:    prog,
+		state:   sched.NewExploreState(s.snapEntries),
+		reports: make(map[string]bool),
+	}
+	s.programs[key] = ps
+	return ps, false
+}
+
+// len returns the number of distinct programs the store has seen.
+func (s *store) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.programs)
+}
+
+// ProgramInfo is the wire summary of one stored program.
+type ProgramInfo struct {
+	Key         string `json:"key"`
+	Name        string `json:"name"`
+	Submissions int    `json:"submissions"`
+	// Explorations/Pairs/Reports describe the accumulated ExploreState:
+	// absorbed coverage explorations, distinct coverage pairs, and
+	// deduplicated raw reports.
+	Explorations int `json:"explorations"`
+	Pairs        int `json:"pairs"`
+	Reports      int `json:"reports"`
+}
+
+// list snapshots the store for the programs endpoint, sorted by key for
+// a deterministic listing. Counts read through the ExploreState's own
+// mutex-guarded accessors, so a concurrent job run on another shard
+// cannot race the scrape.
+func (s *store) list() []ProgramInfo {
+	s.mu.Lock()
+	states := make([]*programState, 0, len(s.programs))
+	for _, ps := range s.programs {
+		states = append(states, ps)
+	}
+	s.mu.Unlock()
+	out := make([]ProgramInfo, 0, len(states))
+	for _, ps := range states {
+		ps.mu.Lock()
+		subs, nRep := ps.submissions, len(ps.reports)
+		ps.mu.Unlock()
+		out = append(out, ProgramInfo{
+			Key:          ps.key,
+			Name:         ps.name,
+			Submissions:  subs,
+			Explorations: ps.state.Explorations(),
+			Pairs:        ps.state.Pairs(),
+			Reports:      nRep,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

@@ -1,0 +1,320 @@
+// Command loadgen is the in-process load harness behind `make loadtest`:
+// it stands up the serve API (handler-level, no sockets), drives
+// thousands of concurrent submissions through the full HTTP path —
+// submit, 429-with-Retry-After backoff, poll to completion — and emits
+// a test2json-compatible stream of BenchmarkServeLoadtest rows (p50/p99/
+// mean submit-to-done latency and sustained throughput) plus the serve
+// counter totals, so `make bench-summary` folds BENCH_serve.json in
+// with the other benchmark streams unchanged.
+//
+// The workload mix deliberately resubmits a small program set over and
+// over: that is the service's design center (accumulated exploration
+// state), so the steady state measures *resumed* analyses and the
+// serve.resume_hits counter must come back hot.
+//
+// Usage:
+//
+//	loadgen [-submissions 5000] [-concurrency 1000] [-profile full|short]
+//	        [-shards 8] [-queue 256] [-quota 0] > BENCH_serve.json
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/conanalysis/owl/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+type counters struct {
+	completed   atomic.Int64
+	failed      atomic.Int64
+	rejected429 atomic.Int64
+	retries     atomic.Int64
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	submissions := fs.Int("submissions", 5000, "total jobs to push through the service")
+	concurrency := fs.Int("concurrency", 1000, "concurrent submitter goroutines")
+	profile := fs.String("profile", "full", "full | short (short halves the job count for CI)")
+	shards := fs.Int("shards", 8, "server shard count")
+	queue := fs.Int("queue", 256, "per-shard queue depth")
+	quota := fs.Int("quota", 0, "per-tenant quota (0 = effectively unlimited for the load mix)")
+	tenants := fs.Int("tenants", 16, "distinct tenants in the submission mix")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	n := *submissions
+	if *profile == "short" {
+		n = 1200
+	} else if *profile != "full" {
+		return fmt.Errorf("unknown profile %q", *profile)
+	}
+	conc := *concurrency
+	if conc > n {
+		conc = n
+	}
+	q := *quota
+	if q == 0 {
+		// The point of the harness is queue backpressure, not quota
+		// starvation: give every tenant room for its share of the fleet.
+		q = conc
+	}
+
+	srv := serve.New(serve.Config{
+		Shards:      *shards,
+		QueueDepth:  *queue,
+		TenantQuota: q,
+		SnapEntries: 64,
+		RetryAfter:  10 * time.Millisecond,
+	})
+	handler := srv.Handler()
+
+	// The submission mix: a handful of distinct programs cycled across
+	// all jobs, so nearly every job after the warmup is a resume hit.
+	specs := mix()
+
+	var c counters
+	latencies := make([]time.Duration, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	go func() {
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range next {
+				spec := specs[i%len(specs)]
+				spec.Tenant = "tenant-" + strconv.Itoa(i%*tenants)
+				d, err := submitAndWait(handler, spec, &c)
+				if err != nil {
+					c.failed.Add(1)
+					continue
+				}
+				latencies[i] = d
+				c.completed.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if err := srv.Shutdown(context.Background()); err != nil {
+		return err
+	}
+
+	return report(os.Stdout, srv, &c, latencies, wall, n, conc)
+}
+
+// mix returns the program rotation. Mostly built-in workloads at small
+// coverage budgets (seed fixed so repeat submissions resume
+// deterministically), plus one inline module exercising the -file path.
+func mix() []serve.Spec {
+	cov := func(workload string) serve.Spec {
+		return serve.Spec{
+			Workload: workload,
+			Options:  serve.SpecOptions{Explore: "coverage", Budget: 16, Seed: 7},
+		}
+	}
+	const inline = `
+global @x = 0
+
+func @worker() {
+entry:
+  store 1, @x
+  ret 0
+}
+func @main() {
+entry:
+  %t = call @spawn(@worker)
+  %v = load @x
+  %r = call @join(%t)
+  ret 0
+}
+`
+	return []serve.Spec{
+		cov("libsafe"),
+		cov("apache"),
+		cov("ssdb"),
+		{Program: inline, Options: serve.SpecOptions{Explore: "coverage", Budget: 16, Seed: 7}},
+	}
+}
+
+// submitAndWait pushes one job through the HTTP handler: POST with
+// Retry-After-honoring backoff, then a blocking GET of the job's SSE
+// stream — the stream handler parks in a channel select until the job
+// reaches a terminal state, so a thousand concurrent waiters cost no
+// CPU (busy-polling the status endpoint starves the shard workers on
+// small machines). The returned duration is first-submit-attempt to
+// done — queueing and backpressure time counts, exactly what a client
+// experiences.
+func submitAndWait(h http.Handler, spec serve.Spec, c *counters) (time.Duration, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	var st serve.JobStatus
+	backoff := 2 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("POST", "/v1/jobs", bytes.NewReader(body))
+		h.ServeHTTP(rec, req)
+		if rec.Code == http.StatusAccepted {
+			if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+				return 0, err
+			}
+			break
+		}
+		if rec.Code == http.StatusTooManyRequests {
+			c.rejected429.Add(1)
+			c.retries.Add(1)
+			if attempt > 10_000 {
+				return 0, fmt.Errorf("starved after %d attempts", attempt)
+			}
+			time.Sleep(backoff)
+			if backoff < 100*time.Millisecond {
+				backoff *= 2
+			}
+			continue
+		}
+		return 0, fmt.Errorf("submit: status %d: %s", rec.Code, rec.Body.String())
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/jobs/"+st.ID+"/stream", nil))
+	if rec.Code != http.StatusOK {
+		return 0, fmt.Errorf("stream: status %d", rec.Code)
+	}
+	final, err := lastSSEData(rec.Body.String())
+	if err != nil {
+		return 0, err
+	}
+	if err := json.Unmarshal([]byte(final), &st); err != nil {
+		return 0, err
+	}
+	switch st.State {
+	case serve.StateDone:
+		return time.Since(start), nil
+	case serve.StateFailed:
+		return 0, fmt.Errorf("job failed: %s", st.Error)
+	default:
+		return 0, fmt.Errorf("stream ended in state %q", st.State)
+	}
+}
+
+// lastSSEData returns the data payload of the final event in a complete
+// SSE body.
+func lastSSEData(body string) (string, error) {
+	var last string
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "data: ") {
+			last = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	if last == "" {
+		return "", fmt.Errorf("stream carried no events")
+	}
+	return last, nil
+}
+
+// report writes the BENCH_serve.json stream: benchmark result rows the
+// benchfmt parser ingests, wrapped as test2json output events, plus a
+// human-readable summary line carrying the counter totals.
+func report(w *os.File, srv *serve.Server, c *counters, latencies []time.Duration, wall time.Duration, n, conc int) error {
+	done := make([]time.Duration, 0, len(latencies))
+	for _, d := range latencies {
+		if d > 0 {
+			done = append(done, d)
+		}
+	}
+	if len(done) == 0 {
+		return fmt.Errorf("no submissions completed")
+	}
+	sort.Slice(done, func(i, j int) bool { return done[i] < done[j] })
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(done)-1))
+		return done[i]
+	}
+	var sum time.Duration
+	for _, d := range done {
+		sum += d
+	}
+	mean := sum / time.Duration(len(done))
+	perJob := wall / time.Duration(len(done)) // sustained ns per completed job
+
+	serveCounters := map[string]int64{}
+	for _, cr := range srv.Metrics().Snapshot().Counters {
+		serveCounters[cr.Name] = cr.Value
+	}
+
+	emit := func(format string, args ...any) error {
+		ev := struct {
+			Action string `json:"Action"`
+			Output string `json:"Output"`
+		}{"output", fmt.Sprintf(format, args...)}
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(w, string(data))
+		return err
+	}
+	rows := []struct {
+		name string
+		ns   int64
+	}{
+		{"BenchmarkServeLoadtest/submit_to_done_p50", pct(0.50).Nanoseconds()},
+		{"BenchmarkServeLoadtest/submit_to_done_p99", pct(0.99).Nanoseconds()},
+		{"BenchmarkServeLoadtest/submit_to_done_mean", mean.Nanoseconds()},
+		{"BenchmarkServeLoadtest/sustained_per_job", perJob.Nanoseconds()},
+	}
+	for _, r := range rows {
+		if err := emit("%s 1 %d ns/op\n", r.name, r.ns); err != nil {
+			return err
+		}
+	}
+	summary := fmt.Sprintf(
+		"loadtest: submissions=%d concurrency=%d completed=%d failed=%d throughput=%.1f/s p50=%s p99=%s retries_429=%d resume_hits=%d resume_misses=%d programs=%d",
+		n, conc, c.completed.Load(), c.failed.Load(),
+		float64(len(done))/wall.Seconds(), pct(0.50), pct(0.99),
+		c.rejected429.Load(),
+		serveCounters["serve.resume_hits"], serveCounters["serve.resume_misses"],
+		len(srv.Programs()),
+	)
+	if err := emit("%s\n", summary); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, summary)
+	if c.failed.Load() > 0 {
+		return fmt.Errorf("%d submissions failed", c.failed.Load())
+	}
+	if serveCounters["serve.resume_hits"] == 0 {
+		return fmt.Errorf("no resume hits — the store is not accumulating state")
+	}
+	return nil
+}
