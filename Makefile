@@ -3,6 +3,8 @@
 #   make ci              build + vet + test -race + faults + predict (the tier-1 gate)
 #   make test            plain test run (-shuffle=on; seed echoed into the log)
 #   make serve-gate      analysis-service gate under -race (drain, backpressure, resume)
+#   make persist-gate    durable-store gate: persistence + disk faults under -race,
+#                        plus the process-level kill-and-restart smoke
 #   make loadtest        in-process serve load harness -> BENCH_serve.json
 #   make faults          fault-injection suite under -race + canned-plan CLI runs
 #   make predict         predictor suites under -race + confirm-differential gate
@@ -24,12 +26,12 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: ci build vet test race serve-gate loadtest faults predict engine-diff \
+.PHONY: ci build vet test race serve-gate persist-gate loadtest faults predict engine-diff \
 	fmt-check golden golden-bytecode golden-update profile bench bench-smoke \
 	bench-pipeline bench-detector bench-explore bench-predict bench-interp \
 	bench-summary clean
 
-ci: build vet race serve-gate faults predict engine-diff golden-bytecode
+ci: build vet race serve-gate persist-gate faults predict engine-diff golden-bytecode
 
 build:
 	$(GO) build ./...
@@ -55,6 +57,21 @@ race:
 serve-gate:
 	$(GO) test -race -count=1 -shuffle=on ./internal/serve/ ./internal/metrics/
 	@echo "serve gate passed"
+
+# Durable-store gate (docs/SERVE.md, docs/ROBUSTNESS.md): the persist
+# layer's checkpoint+WAL frame suite and the serve-level crash-recovery
+# tests under -race — restart-resume parity against a never-restarted
+# server, kill-without-drain WAL replay, the disk-fault matrix (torn
+# write, bit flip, short write, fsync error), LRU eviction with and
+# without rehydration, drain racing live SSE subscribers, and
+# checkpoint-while-absorbing — then the process-level smoke: the real
+# binary SIGKILLed mid-life, fsck'd, restarted, and resumed.
+persist-gate:
+	$(GO) test -race -count=1 -shuffle=on ./internal/serve/persist/
+	$(GO) test -race -count=1 ./internal/serve/ \
+		-run 'Persist|Restart|Kill|DiskFault|Eviction|Drain|Checkpoint|Fsck'
+	$(GO) test -count=1 ./cmd/owl-serve/
+	@echo "durable-store gate passed"
 
 # In-process load harness (tools/loadgen): ~1000 concurrent submissions
 # through the full HTTP path of the analysis service; p50/p99/mean

@@ -8,10 +8,19 @@
 //
 //	owl-serve [-addr :8080] [-shards 4] [-queue 64] [-workers 1]
 //	          [-snap-entries 64] [-tenant-quota 16] [-drain-timeout 30s]
+//	          [-state-dir DIR] [-checkpoint-every 8] [-max-programs 0]
+//	owl-serve -fsck -state-dir DIR
+//
+// With -state-dir the store is crash-safe: every completed job is
+// WAL-appended under the directory before its status publishes, boot
+// replays checkpoint+WAL (quarantining anything damaged), and a repeat
+// submission after a restart resumes exactly where the dead process
+// left off. -fsck validates and repairs a state directory offline and
+// exits (nonzero when programs had to be quarantined).
 //
 // SIGINT/SIGTERM triggers a graceful drain: the listener stops
-// accepting, queued and running jobs finish, then the process exits.
-// See docs/SERVE.md for the API.
+// accepting, queued and running jobs finish, state is checkpointed,
+// then the process exits. See docs/SERVE.md for the API.
 package main
 
 import (
@@ -45,18 +54,43 @@ func run(args []string) error {
 	tenantQuota := fs.Int("tenant-quota", 16, "max queued+running jobs per tenant")
 	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight jobs on shutdown")
+	stateDir := fs.String("state-dir", "", "state directory for crash-safe persistence (empty = in-memory only)")
+	checkpointEvery := fs.Int("checkpoint-every", 8, "fold a program's WAL into a checkpoint after this many records")
+	maxPrograms := fs.Int("max-programs", 0, "max in-memory program states; LRU-evict beyond this (0 = unlimited)")
+	fsck := fs.Bool("fsck", false, "validate and repair -state-dir, print a report, and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	srv := serve.New(serve.Config{
-		Shards:      *shards,
-		QueueDepth:  *queue,
-		Workers:     *workers,
-		SnapEntries: *snapEntries,
-		TenantQuota: *tenantQuota,
-		RetryAfter:  *retryAfter,
+	if *fsck {
+		if *stateDir == "" {
+			return fmt.Errorf("-fsck requires -state-dir")
+		}
+		rep, err := serve.Fsck(*stateDir)
+		if err != nil {
+			return err
+		}
+		rep.Write(os.Stdout)
+		if rep.Quarantined > 0 {
+			return fmt.Errorf("%d program(s) quarantined", rep.Quarantined)
+		}
+		return nil
+	}
+
+	srv, err := serve.New(serve.Config{
+		Shards:          *shards,
+		QueueDepth:      *queue,
+		Workers:         *workers,
+		SnapEntries:     *snapEntries,
+		TenantQuota:     *tenantQuota,
+		RetryAfter:      *retryAfter,
+		StateDir:        *stateDir,
+		CheckpointEvery: *checkpointEvery,
+		MaxPrograms:     *maxPrograms,
 	})
+	if err != nil {
+		return err
+	}
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	errc := make(chan error, 1)

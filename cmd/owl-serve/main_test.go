@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/conanalysis/owl/internal/serve"
+)
+
+// TestFsckFlagValidation pins the offline mode's argument contract.
+func TestFsckFlagValidation(t *testing.T) {
+	if err := run([]string{"-fsck"}); err == nil || !strings.Contains(err.Error(), "-state-dir") {
+		t.Errorf("-fsck without -state-dir: err = %v, want state-dir complaint", err)
+	}
+	// An empty directory is a valid (trivially healthy) state dir.
+	if err := run([]string{"-fsck", "-state-dir", t.TempDir()}); err != nil {
+		t.Errorf("-fsck on empty dir: %v", err)
+	}
+}
+
+// TestKillRestartSmoke exercises the real binary end to end: submit a
+// job over HTTP, SIGKILL the process (a genuine crash, not a drain),
+// fsck the state directory, restart, and verify the resubmission
+// resumes from the recovered state. This is the process-level
+// counterpart of the in-package recovery tests.
+func TestKillRestartSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary; skipped in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "owl-serve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	stateDir := t.TempDir()
+
+	// Round 1: serve, submit, wait for done, then SIGKILL.
+	addr, proc := startServe(t, bin, stateDir)
+	first := submitAndWait(t, addr)
+	if first.Resume {
+		t.Fatal("first submission claims to resume")
+	}
+	if err := proc.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	proc.Wait()
+
+	// The crash left a valid store: fsck must pass without quarantining.
+	fsck := exec.Command(bin, "-fsck", "-state-dir", stateDir)
+	if out, err := fsck.CombinedOutput(); err != nil {
+		t.Fatalf("fsck after kill: %v\n%s", err, out)
+	}
+
+	// Round 2: restart against the same directory; the resubmission
+	// must resume the recovered exploration.
+	addr2, proc2 := startServe(t, bin, stateDir)
+	second := submitAndWait(t, addr2)
+	if !second.Resume {
+		t.Error("resubmission after restart did not resume")
+	}
+	if second.Result.Submissions != 2 {
+		t.Errorf("recovered submission count = %d, want 2", second.Result.Submissions)
+	}
+	if second.Result.ExecutedSchedules >= first.Result.ExecutedSchedules {
+		t.Errorf("resumed run executed %d schedules, want fewer than first run's %d",
+			second.Result.ExecutedSchedules, first.Result.ExecutedSchedules)
+	}
+
+	// SIGTERM drains cleanly.
+	if err := proc2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- proc2.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("drain exit: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		proc2.Process.Kill()
+		t.Fatal("SIGTERM drain never exited")
+	}
+}
+
+// startServe launches the binary on a fresh port and waits for /healthz.
+func startServe(t *testing.T, bin, stateDir string) (string, *exec.Cmd) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	cmd := exec.Command(bin, "-addr", addr, "-shards", "1", "-state-dir", stateDir)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return addr, cmd
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server on %s never became healthy (last: %v)", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// submitAndWait posts a fixed inline racy program and polls to done.
+func submitAndWait(t *testing.T, addr string) serve.JobStatus {
+	t.Helper()
+	spec := map[string]any{
+		"program": `
+global @x = 0
+
+func @worker() {
+entry:
+  store 1, @x
+  ret 0
+}
+func @main() {
+entry:
+  %t = call @spawn(@worker)
+  %v = load @x
+  %r = call @join(%t)
+  ret 0
+}
+`,
+		"options": map[string]any{"explore": "coverage", "budget": 24, "seed": 3},
+	}
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post("http://"+addr+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st serve.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for st.State != serve.StateDone {
+		if st.State == serve.StateFailed {
+			t.Fatalf("job failed: %s", st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", st.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+		r, err := http.Get(fmt.Sprintf("http://%s/v1/jobs/%s", addr, st.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+	}
+	if st.Result == nil {
+		t.Fatal("done without result")
+	}
+	return st
+}

@@ -44,6 +44,32 @@ const (
 	KindMaxSteps Kind = "max-steps"
 )
 
+// Disk-fault kinds. These never fire at Point or StepBudget — storage
+// layers (internal/serve/persist) consult them through Disk at each
+// write/fsync call, keyed by operation name (the rule's Stage) and the
+// per-target operation sequence number (the rule's Run). KindShortWrite
+// writes a prefix of the buffer and then reports an error (ENOSPC
+// mid-write); KindFsyncError skips the fsync and reports an error;
+// KindTornWrite silently writes only a prefix (the page-cache tail a
+// kill -9 loses); KindBitFlip silently flips one bit of the buffer
+// before it lands (latent media corruption a checksum must catch).
+const (
+	KindShortWrite Kind = "short-write"
+	KindFsyncError Kind = "fsync-error"
+	KindTornWrite  Kind = "torn-write"
+	KindBitFlip    Kind = "bit-flip"
+)
+
+// isDisk reports whether the kind is a disk fault (fired via Disk, not
+// Point).
+func isDisk(k Kind) bool {
+	switch k {
+	case KindShortWrite, KindFsyncError, KindTornWrite, KindBitFlip:
+		return true
+	}
+	return false
+}
+
 // Rule is one fault-injection directive.
 type Rule struct {
 	// Stage is the exact stage name the rule targets (e.g. "owl.detect",
@@ -66,6 +92,9 @@ type Rule struct {
 	DelayMS int `json:"delay_ms,omitempty"`
 	// MaxSteps is the step-budget override for KindMaxSteps.
 	MaxSteps int `json:"max_steps,omitempty"`
+	// Bit is the bit offset KindBitFlip flips, taken modulo the buffer's
+	// bit length (so any value is valid for any write).
+	Bit int `json:"bit,omitempty"`
 	// Msg labels the injected panic/error (default "injected <kind>").
 	Msg string `json:"msg,omitempty"`
 }
@@ -97,7 +126,8 @@ func Parse(data []byte) (*Plan, error) {
 	}
 	for i, r := range p.Rules {
 		switch r.Kind {
-		case KindPanic, KindError, KindDelay, KindMaxSteps:
+		case KindPanic, KindError, KindDelay, KindMaxSteps,
+			KindShortWrite, KindFsyncError, KindTornWrite, KindBitFlip:
 		default:
 			return nil, fmt.Errorf("faultinject: rule %d: unknown kind %q", i, r.Kind)
 		}
@@ -172,7 +202,7 @@ func (p *Plan) Point(ctx context.Context, stage string, run int) error {
 	}
 	for i := range p.Rules {
 		r := &p.Rules[i]
-		if r.Kind == KindMaxSteps || !r.matches(stage, run) {
+		if r.Kind == KindMaxSteps || isDisk(r.Kind) || !r.matches(stage, run) {
 			continue
 		}
 		if !p.take(i, r, stage, run) {
@@ -217,6 +247,46 @@ func (p *Plan) StepBudget(stage string, run int, def int) int {
 		return r.MaxSteps
 	}
 	return def
+}
+
+// DiskFault describes one disk fault Disk decided to inject.
+type DiskFault struct {
+	Kind Kind
+	Bit  int
+	Msg  string
+}
+
+func (d *DiskFault) Error() string {
+	return fmt.Sprintf("injected %s: %s", d.Kind, d.Msg)
+}
+
+// Disk is the storage-layer injection hook: op names the I/O point (the
+// rule's Stage, e.g. "persist.wal.append" or "persist.checkpoint.fsync")
+// and seq is the per-target sequence number of that operation (the
+// rule's Run; -1 in a rule matches every occurrence). It returns the
+// first matching disk rule's fault, or nil. The same determinism
+// contract as Point holds: whether a fault fires depends only on the
+// plan, the op, the sequence number, and prior hits of that exact
+// point — never on scheduling or wall clock.
+func (p *Plan) Disk(op string, seq int) *DiskFault {
+	if p == nil {
+		return nil
+	}
+	for i := range p.Rules {
+		r := &p.Rules[i]
+		if !isDisk(r.Kind) || !r.matches(op, seq) {
+			continue
+		}
+		if !p.take(i, r, op, seq) {
+			continue
+		}
+		msg := r.Msg
+		if msg == "" {
+			msg = "injected " + string(r.Kind)
+		}
+		return &DiskFault{Kind: r.Kind, Bit: r.Bit, Msg: msg}
+	}
+	return nil
 }
 
 // pointHash maps (seed, rule, stage, run) to [0,1) with splitmix64 over

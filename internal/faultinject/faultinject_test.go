@@ -102,6 +102,65 @@ func TestStepBudgetOverride(t *testing.T) {
 	}
 }
 
+// TestDiskFaults pins the storage-layer hook: disk rules fire at Disk
+// (keyed by op + sequence, honoring Times) and never at Point or
+// StepBudget, and a nil plan injects nothing.
+func TestDiskFaults(t *testing.T) {
+	p := &Plan{Rules: []Rule{
+		{Stage: "persist.wal.append", Run: 1, Kind: KindTornWrite},
+		{Stage: "persist.checkpoint.write", Run: -1, Kind: KindBitFlip, Bit: 13, Times: 1},
+		{Stage: "persist.wal.fsync", Run: 0, Kind: KindFsyncError},
+	}}
+	if f := p.Disk("persist.wal.append", 0); f != nil {
+		t.Fatalf("seq 0 fired: %+v", f)
+	}
+	f := p.Disk("persist.wal.append", 1)
+	if f == nil || f.Kind != KindTornWrite {
+		t.Fatalf("seq 1 = %+v, want torn-write", f)
+	}
+	f = p.Disk("persist.checkpoint.write", 7)
+	if f == nil || f.Kind != KindBitFlip || f.Bit != 13 {
+		t.Fatalf("checkpoint write = %+v, want bit-flip at 13", f)
+	}
+	if f = p.Disk("persist.checkpoint.write", 7); f != nil {
+		t.Fatalf("Times=1 rule fired twice: %+v", f)
+	}
+	if f = p.Disk("persist.wal.fsync", 0); f == nil || f.Kind != KindFsyncError {
+		t.Fatalf("fsync = %+v, want fsync-error", f)
+	}
+	// Disk kinds are invisible to the pipeline hooks.
+	if err := p.Point(context.Background(), "persist.wal.append", 1); err != nil {
+		t.Fatalf("disk rule fired at Point: %v", err)
+	}
+	if got := p.StepBudget("persist.wal.append", 1, 99); got != 99 {
+		t.Fatalf("disk rule overrode step budget: %d", got)
+	}
+	var nilPlan *Plan
+	if f := nilPlan.Disk("persist.wal.append", 1); f != nil {
+		t.Fatalf("nil plan injected %+v", f)
+	}
+}
+
+// TestParseAcceptsDiskKinds: disk-fault plans load from JSON like any
+// other plan.
+func TestParseAcceptsDiskKinds(t *testing.T) {
+	src := `{"seed":3,"rules":[
+		{"stage":"persist.wal.append","run":-1,"kind":"short-write"},
+		{"stage":"persist.wal.append","run":2,"kind":"torn-write"},
+		{"stage":"persist.checkpoint.write","run":0,"kind":"bit-flip","bit":5},
+		{"stage":"persist.checkpoint.fsync","run":0,"kind":"fsync-error"}]}`
+	p, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 4 {
+		t.Fatalf("rules = %d, want 4", len(p.Rules))
+	}
+	if f := p.Disk("persist.wal.append", 0); f == nil || f.Kind != KindShortWrite {
+		t.Fatalf("parsed plan Disk = %+v, want short-write", f)
+	}
+}
+
 // TestProbDeterministic pins the seeded coin: the same (seed, rule,
 // stage, run) always decides the same way, and the decision is
 // independent of call order.

@@ -488,6 +488,7 @@ type Module struct {
 
 	lowerMu sync.Mutex
 	lowered map[any]any
+	fp      string // memoized Fingerprint; guarded by lowerMu
 }
 
 // NewModule returns an empty module with the given name.

@@ -1,0 +1,73 @@
+// Stable instruction positions. Coverage maps and other analysis state
+// key on *Instr identities, which die with the process; persisting such
+// state requires re-keying it by positions that survive a round trip
+// through disk and a re-parse of the same module. An InstrPos is that
+// key: the containing function's name plus the instruction's flat index
+// within it, both assigned deterministically by Freeze — two parses of
+// identical source yield identical positions.
+//
+// Positions are only meaningful against the exact module they were
+// taken from. Fingerprint gives callers the guard: a content hash of
+// the frozen module's canonical text form, cheap to compare before
+// re-binding persisted positions against a re-resolved module.
+package ir
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// InstrPos is the stable, serializable position of an instruction:
+// module-relative function name plus the function-relative flat
+// instruction index Freeze assigned. The zero value (empty Func,
+// index 0) is not a valid position; use PosOf.
+type InstrPos struct {
+	Func  string `json:"fn"`
+	Index int    `json:"ix"`
+}
+
+func (p InstrPos) String() string { return fmt.Sprintf("@%s#%d", p.Func, p.Index) }
+
+// PosOf returns the stable position of an instruction. It reports false
+// for a nil instruction or one whose module has not been frozen (no
+// back-references yet).
+func PosOf(in *Instr) (InstrPos, bool) {
+	if in == nil || in.Fn == nil {
+		return InstrPos{}, false
+	}
+	return InstrPos{Func: in.Fn.Name, Index: in.Index}, true
+}
+
+// InstrAtPos resolves a stable position against the module, or nil when
+// the function is unknown or the index out of range — the signal that
+// persisted state was taken from a different module and must be
+// discarded rather than silently mis-bound.
+func (m *Module) InstrAtPos(p InstrPos) *Instr {
+	f := m.Func(p.Func)
+	if f == nil {
+		return nil
+	}
+	return f.InstrAt(p.Index)
+}
+
+// Fingerprint returns a hex content hash of the frozen module's
+// canonical textual form (Format round-trips, so structurally identical
+// modules — same functions, blocks, instructions, globals — share a
+// fingerprint regardless of how they were constructed). It is the
+// cheap precondition for re-binding persisted InstrPos keys: different
+// fingerprints mean the positions describe a different program.
+// Fingerprint of an unfrozen module returns "" — positions are not
+// assigned yet, so there is nothing meaningful to guard.
+func (m *Module) Fingerprint() string {
+	if !m.frozen {
+		return ""
+	}
+	m.lowerMu.Lock()
+	defer m.lowerMu.Unlock()
+	if m.fp == "" {
+		sum := sha256.Sum256([]byte(m.Format()))
+		m.fp = hex.EncodeToString(sum[:])
+	}
+	return m.fp
+}

@@ -1,0 +1,101 @@
+package ir
+
+import "testing"
+
+const stableSrc = `
+module m
+
+global @x = 0
+
+func @worker(%n) {
+entry:
+  %v = load @x
+  %v2 = add %v, %n
+  store %v2, @x
+  ret 0
+}
+
+func @main() {
+entry:
+  %t = call @spawn(@worker, 1)
+  %r = call @join(%t)
+  ret 0
+}
+`
+
+// TestInstrPosRoundTrip pins the stable-position contract: PosOf on any
+// instruction resolves back to the same instruction via InstrAtPos, and
+// resolves to the structurally identical instruction in an independent
+// re-parse of the same source.
+func TestInstrPosRoundTrip(t *testing.T) {
+	m1, err := Parse("stable.oir", stableSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Parse("stable.oir", stableSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range m1.Funcs {
+		for _, in := range f.Instrs() {
+			p, ok := PosOf(in)
+			if !ok {
+				t.Fatalf("PosOf(%s) not ok", in.FullName())
+			}
+			if got := m1.InstrAtPos(p); got != in {
+				t.Fatalf("InstrAtPos(%v) = %v, want identity of %v", p, got, in)
+			}
+			other := m2.InstrAtPos(p)
+			if other == nil || other.String() != in.String() {
+				t.Fatalf("re-parse resolve of %v = %v, want structural match of %q", p, other, in.String())
+			}
+		}
+	}
+}
+
+// TestInstrPosUnresolvable: a position from a different module resolves
+// to nil rather than a wrong instruction.
+func TestInstrPosUnresolvable(t *testing.T) {
+	m, err := Parse("stable.oir", stableSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.InstrAtPos(InstrPos{Func: "nope", Index: 0}); got != nil {
+		t.Errorf("unknown func resolved to %v", got)
+	}
+	if got := m.InstrAtPos(InstrPos{Func: "worker", Index: 99}); got != nil {
+		t.Errorf("out-of-range index resolved to %v", got)
+	}
+	if _, ok := PosOf(nil); ok {
+		t.Error("PosOf(nil) ok")
+	}
+}
+
+// TestFingerprintStability: identical source fingerprints identically;
+// any textual change moves the fingerprint; unfrozen modules have none.
+func TestFingerprintStability(t *testing.T) {
+	m1, err := Parse("stable.oir", stableSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Parse("stable.oir", stableSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Fingerprint() == "" || m1.Fingerprint() != m2.Fingerprint() {
+		t.Errorf("fingerprints of identical parses differ: %q vs %q", m1.Fingerprint(), m2.Fingerprint())
+	}
+	if m1.Fingerprint() != m1.Fingerprint() {
+		t.Error("fingerprint is not stable across calls")
+	}
+	m3, err := Parse("stable.oir", stableSrc+"\nglobal @extra = 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.Fingerprint() == m1.Fingerprint() {
+		t.Error("structurally different modules share a fingerprint")
+	}
+	if NewModule("fresh").Fingerprint() != "" {
+		t.Error("unfrozen module has a fingerprint")
+	}
+}

@@ -1,0 +1,238 @@
+// Stable serialization of ExploreState. The in-memory state keys
+// coverage by *ir.Instr identity, which is meaningless across process
+// boundaries; Export re-keys every pair by ir.InstrPos (function name +
+// flat instruction index — deterministic products of Module.Freeze) and
+// Import re-binds them against a re-resolved module, refusing to guess
+// when a position no longer resolves. The serve persistence layer
+// (internal/serve/persist) stores Export's snapshot in checkpoints and
+// the per-job journal deltas in its WAL.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/conanalysis/owl/internal/ir"
+)
+
+// StablePair is one interleaving-coverage pair re-keyed by stable
+// instruction positions. An absent end (never produced by the current
+// recorder, but tolerated for forward compatibility) is encoded as an
+// empty function name with index -1.
+type StablePair struct {
+	FromFn string `json:"ff,omitempty"`
+	FromIx int    `json:"fi"`
+	ToFn   string `json:"tf,omitempty"`
+	ToIx   int    `json:"ti"`
+}
+
+func stablePairOf(k covKey) StablePair {
+	p := StablePair{FromIx: -1, ToIx: -1}
+	if pos, ok := ir.PosOf(k.from); ok {
+		p.FromFn, p.FromIx = pos.Func, pos.Index
+	}
+	if pos, ok := ir.PosOf(k.to); ok {
+		p.ToFn, p.ToIx = pos.Func, pos.Index
+	}
+	return p
+}
+
+// resolve re-binds the pair against m. ok is false when either end
+// names a position the module does not have — persisted state from a
+// different program, which the caller must discard wholesale.
+func (p StablePair) resolve(m *ir.Module) (covKey, bool) {
+	var k covKey
+	if p.FromFn != "" || p.FromIx >= 0 {
+		if k.from = m.InstrAtPos(ir.InstrPos{Func: p.FromFn, Index: p.FromIx}); k.from == nil {
+			return covKey{}, false
+		}
+	}
+	if p.ToFn != "" || p.ToIx >= 0 {
+		if k.to = m.InstrAtPos(ir.InstrPos{Func: p.ToFn, Index: p.ToIx}); k.to == nil {
+			return covKey{}, false
+		}
+	}
+	return k, true
+}
+
+func sortPairs(ps []StablePair) {
+	sort.Slice(ps, func(i, j int) bool {
+		a, b := ps[i], ps[j]
+		if a.FromFn != b.FromFn {
+			return a.FromFn < b.FromFn
+		}
+		if a.FromIx != b.FromIx {
+			return a.FromIx < b.FromIx
+		}
+		if a.ToFn != b.ToFn {
+			return a.ToFn < b.ToFn
+		}
+		return a.ToIx < b.ToIx
+	})
+}
+
+// StateSnapshot is the full serializable form of an ExploreState:
+// coverage pairs and seen-report IDs in sorted order (so identical
+// states marshal to identical bytes) plus the absorbed-exploration
+// count. The snapshot cache is deliberately absent — machine snapshots
+// are in-memory page images and are rebuilt from scratch after a
+// restart.
+type StateSnapshot struct {
+	Pairs        []StablePair `json:"pairs,omitempty"`
+	Seen         []string     `json:"seen,omitempty"`
+	Explorations int          `json:"explorations"`
+}
+
+// StateDelta is the journaled growth of an ExploreState since the last
+// TakeDelta: the newly covered pairs and newly seen report IDs (sorted,
+// set semantics — replaying a delta twice is harmless) plus the
+// absolute exploration count after the delta. Absolute, not an
+// increment, so that replaying any suffix of deltas on top of any
+// checkpoint converges to the same counters.
+type StateDelta struct {
+	Pairs        []StablePair `json:"pairs,omitempty"`
+	Seen         []string     `json:"seen,omitempty"`
+	Explorations int          `json:"explorations"`
+}
+
+// Empty reports whether the delta carries nothing.
+func (d *StateDelta) Empty() bool {
+	return d == nil || (len(d.Pairs) == 0 && len(d.Seen) == 0 && d.Explorations == 0)
+}
+
+// Export snapshots the state in stable form. Safe to call concurrently
+// with Absorb; the snapshot is a consistent point-in-time view.
+func (s *ExploreState) Export() StateSnapshot {
+	if s == nil {
+		return StateSnapshot{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := StateSnapshot{Explorations: s.explorations}
+	for k := range s.cov.pairs {
+		snap.Pairs = append(snap.Pairs, stablePairOf(k))
+	}
+	sortPairs(snap.Pairs)
+	snap.Seen = make([]string, 0, len(s.seen))
+	for id := range s.seen {
+		snap.Seen = append(snap.Seen, id)
+	}
+	sort.Strings(snap.Seen)
+	return snap
+}
+
+// Import re-binds a snapshot against the given frozen module and loads
+// it into the state. It refuses to guess: any pair that does not
+// resolve fails the whole import (the state was taken from a different
+// program — callers discard it and count the loss rather than serve
+// silently-wrong coverage). Import is only valid on a cold state; a
+// warm one already carries live pairs the load would silently merge
+// with. Imported data never lands in the journal — it is already
+// durable wherever it came from.
+func (s *ExploreState) Import(m *ir.Module, snap StateSnapshot) error {
+	if s == nil {
+		return fmt.Errorf("sched: import into nil ExploreState")
+	}
+	if m == nil || !m.Frozen() {
+		return fmt.Errorf("sched: import needs a frozen module")
+	}
+	resolved := make([]covKey, len(snap.Pairs))
+	for i, p := range snap.Pairs {
+		k, ok := p.resolve(m)
+		if !ok {
+			return fmt.Errorf("sched: import: pair %d (@%s#%d -> @%s#%d) does not resolve in module %s",
+				i, p.FromFn, p.FromIx, p.ToFn, p.ToIx, m.Name)
+		}
+		resolved[i] = k
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.explorations > 0 || len(s.cov.pairs) > 0 || len(s.seen) > 0 {
+		return fmt.Errorf("sched: import into warm ExploreState")
+	}
+	for _, k := range resolved {
+		s.cov.pairs[k] = struct{}{}
+	}
+	for _, id := range snap.Seen {
+		s.seen[id] = true
+	}
+	s.explorations = snap.Explorations
+	return nil
+}
+
+// SetJournal switches per-absorb delta journaling on or off. With the
+// journal on, every Absorb records which pairs and report IDs were new;
+// TakeDelta drains them. Off (the default) keeps Absorb allocation-free
+// for callers that never persist.
+func (s *ExploreState) SetJournal(on bool) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if on && s.journal == nil {
+		s.journal = &StateDelta{}
+	} else if !on {
+		s.journal = nil
+	}
+}
+
+// TakeDelta drains the journal: everything absorbed since the previous
+// TakeDelta (or SetJournal), in sorted order, with the absolute
+// exploration count stamped in. Returns nil when journaling is off or
+// nothing accumulated.
+func (s *ExploreState) TakeDelta() *StateDelta {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal == nil || (len(s.journal.Pairs) == 0 && len(s.journal.Seen) == 0 && s.journal.Explorations == 0) {
+		return nil
+	}
+	d := s.journal
+	s.journal = &StateDelta{}
+	sortPairs(d.Pairs)
+	sort.Strings(d.Seen)
+	d.Explorations = s.explorations
+	return d
+}
+
+// ApplyDelta folds a journaled delta into the state (WAL replay during
+// recovery), re-binding its pairs against m under the same
+// refuse-to-guess contract as Import. Set semantics plus the absolute
+// exploration counter make replay idempotent: applying the same delta
+// twice, or a delta already folded into an imported snapshot, changes
+// nothing.
+func (s *ExploreState) ApplyDelta(m *ir.Module, d *StateDelta) error {
+	if d.Empty() {
+		return nil
+	}
+	if s == nil {
+		return fmt.Errorf("sched: apply delta to nil ExploreState")
+	}
+	if m == nil || !m.Frozen() {
+		return fmt.Errorf("sched: apply delta needs a frozen module")
+	}
+	resolved := make([]covKey, len(d.Pairs))
+	for i, p := range d.Pairs {
+		k, ok := p.resolve(m)
+		if !ok {
+			return fmt.Errorf("sched: delta pair %d (@%s#%d -> @%s#%d) does not resolve in module %s",
+				i, p.FromFn, p.FromIx, p.ToFn, p.ToIx, m.Name)
+		}
+		resolved[i] = k
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, k := range resolved {
+		s.cov.pairs[k] = struct{}{}
+	}
+	for _, id := range d.Seen {
+		s.seen[id] = true
+	}
+	if d.Explorations > s.explorations {
+		s.explorations = d.Explorations
+	}
+	return nil
+}

@@ -40,7 +40,7 @@ func decode[T any](t *testing.T, resp *http.Response) T {
 // result, the jobs listing, the programs listing, /metrics exposing the
 // serve.* series, and /healthz.
 func TestHTTPSubmitAndPoll(t *testing.T) {
-	s := New(Config{Shards: 2})
+	s := mustNew(t, Config{Shards: 2})
 	defer s.Shutdown(context.Background())
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -136,7 +136,7 @@ func mustGet(t *testing.T, ts *httptest.Server, path string) *http.Response {
 // Retry-After header for queue/quota pressure, 404 for unknown jobs,
 // 400 for malformed specs, and 503 once draining.
 func TestHTTPBackpressure(t *testing.T) {
-	s := New(Config{Shards: 1, QueueDepth: 1, RetryAfter: 2 * time.Second})
+	s := mustNew(t, Config{Shards: 1, QueueDepth: 1, RetryAfter: 2 * time.Second})
 	release := gateRunJob(s)
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -188,7 +188,7 @@ func TestHTTPBackpressure(t *testing.T) {
 // and closes after a final `done` event carrying the result; a stream
 // opened after completion yields `done` immediately.
 func TestHTTPStream(t *testing.T) {
-	s := New(Config{Shards: 1})
+	s := mustNew(t, Config{Shards: 1})
 	defer s.Shutdown(context.Background())
 	release := gateRunJob(s)
 	ts := httptest.NewServer(s.Handler())

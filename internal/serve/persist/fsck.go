@@ -1,0 +1,143 @@
+// Offline validation and repair of a state directory. Fsck applies the
+// same trust rules as boot recovery — a program is only as good as its
+// checksummed checkpoint plus the valid prefix of its WAL — but instead
+// of rehydrating it reports and repairs: corrupt checkpoints are
+// quarantined, torn WAL tails truncated, leftover temp files removed.
+// Running fsck before a server start is never required (boot recovery
+// does all of this implicitly) but gives an operator a dry accounting
+// of what a crash cost.
+package persist
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FsckProgram is one program's verdict.
+type FsckProgram struct {
+	Key string `json:"key"`
+	// OK means the checkpoint validated; a quarantined program is not OK.
+	OK bool `json:"ok"`
+	// Err describes why a program was quarantined.
+	Err string `json:"err,omitempty"`
+	// Records is the count of valid WAL records beyond the checkpoint —
+	// what boot recovery would replay.
+	Records int `json:"records"`
+	// TruncatedBytes is how much torn/corrupt WAL tail was cut off.
+	TruncatedBytes int64 `json:"truncated_bytes,omitempty"`
+	// Submissions/Pairs/Seen summarize the durable state for reporting.
+	Submissions int `json:"submissions"`
+	Pairs       int `json:"pairs"`
+	Seen        int `json:"seen"`
+}
+
+// FsckReport is the full accounting of one fsck pass.
+type FsckReport struct {
+	Dir         string        `json:"dir"`
+	Programs    []FsckProgram `json:"programs"`
+	OK          int           `json:"ok"`
+	Quarantined int           `json:"quarantined"`
+	RemovedTemp int           `json:"removed_temp"`
+}
+
+// Fsck validates and repairs a state directory in place. It returns an
+// error only when the directory itself is unusable; per-program damage
+// is repaired (quarantine/truncate) and reported, exactly as boot
+// recovery would handle it.
+func Fsck(dir string) (*FsckReport, error) {
+	rep := &FsckReport{Dir: dir}
+	progRoot := filepath.Join(dir, "programs")
+	entries, err := os.ReadDir(progRoot)
+	if os.IsNotExist(err) {
+		return rep, nil // nothing persisted yet: trivially clean
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fsck: %w", err)
+	}
+	s := &Store{dir: dir} // repair helper; no faults, no metrics
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		key := e.Name()
+		pdir := filepath.Join(progRoot, key)
+		fp := FsckProgram{Key: key}
+		for _, tmp := range []string{"CHECKPOINT.tmp", "WAL.tmp"} {
+			if os.Remove(filepath.Join(pdir, tmp)) == nil {
+				rep.RemovedTemp++
+			}
+		}
+		ck, err := readCheckpointFile(filepath.Join(pdir, "CHECKPOINT"), key)
+		if err != nil {
+			fp.Err = err.Error()
+			if qerr := s.Quarantine(key); qerr != nil {
+				os.RemoveAll(pdir)
+			}
+			rep.Quarantined++
+			rep.Programs = append(rep.Programs, fp)
+			continue
+		}
+		fp.OK = true
+		fp.Submissions = ck.Submissions
+		fp.Pairs = len(ck.State.Pairs)
+		fp.Seen = len(ck.State.Seen)
+
+		walPath := filepath.Join(pdir, "WAL")
+		data, err := os.ReadFile(walPath)
+		if err != nil && !os.IsNotExist(err) {
+			fp.Err = err.Error()
+		} else {
+			deltas, goodOff, _ := scanWAL(data, ck.Seq)
+			fp.Records = len(deltas)
+			if goodOff == 0 {
+				if len(data) > 0 {
+					fp.TruncatedBytes = int64(len(data)) - magicLen
+					if fp.TruncatedBytes < 0 {
+						fp.TruncatedBytes = int64(len(data))
+					}
+				}
+				os.WriteFile(walPath, []byte(walMagic), 0o644)
+			} else if goodOff < len(data) {
+				fp.TruncatedBytes = int64(len(data) - goodOff)
+				os.Truncate(walPath, int64(goodOff))
+			}
+			for _, d := range deltas {
+				if d.SubmissionsAfter > fp.Submissions {
+					fp.Submissions = d.SubmissionsAfter
+				}
+			}
+		}
+		rep.OK++
+		rep.Programs = append(rep.Programs, fp)
+	}
+	sort.Slice(rep.Programs, func(i, j int) bool { return rep.Programs[i].Key < rep.Programs[j].Key })
+	return rep, nil
+}
+
+// Write renders the report for terminal consumption.
+func (r *FsckReport) Write(w io.Writer) {
+	fmt.Fprintf(w, "fsck %s: %d program(s), %d ok, %d quarantined, %d temp file(s) removed\n",
+		r.Dir, len(r.Programs), r.OK, r.Quarantined, r.RemovedTemp)
+	for _, p := range r.Programs {
+		switch {
+		case !p.OK:
+			fmt.Fprintf(w, "  %s QUARANTINED: %s\n", short(p.Key), p.Err)
+		case p.TruncatedBytes > 0:
+			fmt.Fprintf(w, "  %s ok: %d submission(s), %d pair(s), %d wal record(s); truncated %dB torn tail\n",
+				short(p.Key), p.Submissions, p.Pairs, p.Records, p.TruncatedBytes)
+		default:
+			fmt.Fprintf(w, "  %s ok: %d submission(s), %d pair(s), %d wal record(s)\n",
+				short(p.Key), p.Submissions, p.Pairs, p.Records)
+		}
+	}
+}
+
+func short(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
+}

@@ -1,0 +1,474 @@
+// Package persist is the crash-safe durability layer under the serve
+// store. Each program (content-hash key) owns one directory holding a
+// checkpoint — the full accumulated state as of some WAL sequence
+// number — and an append-only write-ahead log of per-job deltas. Every
+// completed job appends one fsync'd WAL record; every N records the
+// serve layer folds the log into a fresh checkpoint (written with the
+// tmp+fsync+rename+dir-fsync atomic-replace idiom) and resets the WAL.
+// A kill -9 at any instant therefore loses at most the un-fsynced WAL
+// tail: recovery replays checkpoint + the valid WAL prefix and truncates
+// the rest.
+//
+// The package stores bytes and recovers structure; it does not know
+// what an ExploreState is. Checkpoints carry a sched.StateSnapshot and
+// WAL records a sched.StateDelta as opaque-but-versioned JSON; the
+// serve layer re-binds them against a re-resolved module (guarded by
+// the module fingerprint) and discards wholesale anything that no
+// longer resolves — persist's job is only to guarantee that what comes
+// back is exactly a durable prefix of what was written, or nothing.
+//
+// Replay is idempotent by construction: WAL records carry monotonic
+// sequence numbers, a checkpoint records the sequence it has folded in,
+// and recovery hands back only the records beyond it. A crash between
+// "checkpoint renamed" and "WAL reset" — the classic double-apply
+// window — leaves stale records in the log; the sequence guard skips
+// them.
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"github.com/conanalysis/owl/internal/faultinject"
+	"github.com/conanalysis/owl/internal/metrics"
+	"github.com/conanalysis/owl/internal/sched"
+)
+
+// Version is the blob format version. A checkpoint with a different
+// version does not rehydrate (it is quarantined); bump it whenever the
+// wire structs or the frame grammar change incompatibly.
+const Version = 1
+
+// ProgramSource is the program identity a checkpoint preserves — the
+// Spec fields that resolve() hashes into the store key. Recovery
+// re-resolves the module from these and refuses the blob when the
+// resolved identity (key, module fingerprint) no longer matches.
+type ProgramSource struct {
+	Workload string  `json:"workload,omitempty"`
+	Recipe   string  `json:"recipe,omitempty"`
+	Noise    string  `json:"noise,omitempty"`
+	Program  string  `json:"program,omitempty"`
+	Inputs   []int64 `json:"inputs,omitempty"`
+}
+
+// Checkpoint is the full durable state of one program as of WAL
+// sequence Seq: identity, accumulated counters, the deduplicated
+// report-ID list in first-seen order, and the stable-form ExploreState.
+type Checkpoint struct {
+	Version     int                 `json:"version"`
+	Key         string              `json:"key"`
+	Name        string              `json:"name"`
+	Source      ProgramSource       `json:"source"`
+	ModuleFP    string              `json:"module_fp"`
+	Seq         uint64              `json:"seq"`
+	Submissions int                 `json:"submissions"`
+	Reports     []string            `json:"reports,omitempty"`
+	State       sched.StateSnapshot `json:"state"`
+}
+
+// Delta is one job's durable contribution: the absolute submission
+// count after the job (absolute, like StateDelta.Explorations, so
+// replaying an already-folded record cannot double-count), the report
+// IDs the job newly added in append order, and the journaled state
+// delta.
+type Delta struct {
+	SubmissionsAfter int               `json:"submissions"`
+	Reports          []string          `json:"reports,omitempty"`
+	State            *sched.StateDelta `json:"state,omitempty"`
+}
+
+// walRecord is the framed WAL payload: a delta stamped with its
+// sequence number.
+type walRecord struct {
+	Seq   uint64 `json:"seq"`
+	Delta Delta  `json:"delta"`
+}
+
+// Options configures a Store.
+type Options struct {
+	// Faults, when non-nil, injects deterministic disk faults at the
+	// persist.* operation points (see frame.go).
+	Faults *faultinject.Plan
+	// Metrics receives the serve.persist_* counters (nil-safe).
+	Metrics *metrics.Collector
+}
+
+// Store is one state directory. It owns the directory layout
+// (programs/<key>/{CHECKPOINT,WAL}, quarantine/...) and the
+// fault-injection sequence counters; per-program durability state lives
+// in Logs.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu  sync.Mutex
+	seq map[string]int // (key|op) -> next fault-injection sequence
+}
+
+// Log is the open durability handle for one program: an append handle
+// on its WAL plus the bookkeeping that keeps appends, checkpoints, and
+// crash recovery consistent. Methods are safe for concurrent use, but
+// the serve layer additionally serializes Append/Checkpoint per program
+// so a checkpoint cannot interleave with the absorb it is snapshotting.
+type Log struct {
+	store *Store
+	key   string
+	dir   string
+
+	mu      sync.Mutex
+	wal     *os.File
+	walOff  int64  // end of the last known-good record
+	records int    // records appended since the last checkpoint
+	nextSeq uint64 // sequence the next Append stamps
+	broken  bool   // truncate-back failed; appends refuse until restart
+}
+
+// Recovered is one program successfully rehydrated by Open: its
+// checkpoint, the valid WAL records beyond the checkpoint's sequence in
+// append order, and the live Log to continue appending to.
+type Recovered struct {
+	Checkpoint Checkpoint
+	Deltas     []Delta
+	Log        *Log
+}
+
+func (s *Store) count(name string, n int64) { s.opts.Metrics.Count(name, n) }
+
+// Dir returns the state directory root.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) programDir(key string) string {
+	return filepath.Join(s.dir, "programs", key)
+}
+
+// Open opens (creating if needed) a state directory and recovers every
+// program in it. Corrupt programs are quarantined and counted, never
+// fatal: the error return is only for an unusable directory itself.
+// Recovered programs come back sorted by key so boot is deterministic.
+func Open(dir string, opts Options) (*Store, []*Recovered, error) {
+	s := &Store{dir: dir, opts: opts}
+	if err := os.MkdirAll(filepath.Join(dir, "programs"), 0o755); err != nil {
+		return nil, nil, fmt.Errorf("persist: %w", err)
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "programs"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("persist: %w", err)
+	}
+	var recovered []*Recovered
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		key := e.Name()
+		rec, err := s.recoverProgram(key)
+		if err != nil {
+			s.count("serve.persist_quarantined", 1)
+			if qerr := s.Quarantine(key); qerr != nil {
+				// The blob is bad and cannot be moved aside; removing it
+				// is the only way to keep the next boot from tripping on
+				// it again.
+				os.RemoveAll(s.programDir(key))
+			}
+			continue
+		}
+		s.count("serve.persist_recovered", 1)
+		s.count("serve.persist_replayed", int64(len(rec.Deltas)))
+		recovered = append(recovered, rec)
+	}
+	sort.Slice(recovered, func(i, j int) bool {
+		return recovered[i].Checkpoint.Key < recovered[j].Checkpoint.Key
+	})
+	return s, recovered, nil
+}
+
+// recoverProgram rehydrates one program directory. An error means the
+// checkpoint itself cannot be trusted (quarantine the directory); WAL
+// damage is handled here by truncating to the valid prefix.
+func (s *Store) recoverProgram(key string) (*Recovered, error) {
+	dir := s.programDir(key)
+	ck, err := readCheckpointFile(filepath.Join(dir, "CHECKPOINT"), key)
+	if err != nil {
+		return nil, err
+	}
+	// Leftover temp files are un-renamed partial writes: harmless, remove.
+	for _, tmp := range []string{"CHECKPOINT.tmp", "WAL.tmp"} {
+		os.Remove(filepath.Join(dir, tmp))
+	}
+
+	l := &Log{store: s, key: key, dir: dir, nextSeq: ck.Seq + 1}
+	walPath := filepath.Join(dir, "WAL")
+	data, err := os.ReadFile(walPath)
+	switch {
+	case os.IsNotExist(err):
+		// Crash between checkpoint rename and WAL creation: the
+		// checkpoint alone is the durable state.
+		data = nil
+	case err != nil:
+		return nil, err
+	}
+
+	deltas, goodOff, maxSeq := scanWAL(data, ck.Seq)
+	l.records = len(deltas)
+	if maxSeq >= l.nextSeq {
+		l.nextSeq = maxSeq + 1
+	}
+	if goodOff < len(data) {
+		s.count("serve.persist_truncated_tails", 1)
+	}
+
+	// Rewrite or truncate the WAL to exactly its valid prefix, then open
+	// the append handle at that point.
+	if goodOff == 0 {
+		if err := os.WriteFile(walPath, []byte(walMagic), 0o644); err != nil {
+			return nil, err
+		}
+		goodOff = magicLen
+	} else if goodOff < len(data) {
+		if err := os.Truncate(walPath, int64(goodOff)); err != nil {
+			return nil, err
+		}
+	}
+	wal, err := os.OpenFile(walPath, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := wal.Sync(); err != nil {
+		wal.Close()
+		return nil, err
+	}
+	l.wal, l.walOff = wal, int64(goodOff)
+	return &Recovered{Checkpoint: ck, Deltas: deltas, Log: l}, nil
+}
+
+// scanWAL walks WAL bytes and returns the deltas of valid records with
+// sequence beyond afterSeq (in order), the byte offset where the valid
+// prefix ends, and the highest sequence seen. goodOff == 0 means even
+// the magic header is unreadable — the whole file is untrustworthy.
+func scanWAL(data []byte, afterSeq uint64) (deltas []Delta, goodOff int, maxSeq uint64) {
+	if len(data) < magicLen || string(data[:magicLen]) != walMagic {
+		return nil, 0, 0
+	}
+	off := magicLen
+	goodOff = off
+	for off < len(data) {
+		payload, next, ok := readFrame(data, off)
+		if !ok {
+			break
+		}
+		var rec walRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			break
+		}
+		if rec.Seq <= maxSeq {
+			// Sequence went backwards or repeated: everything from here
+			// on is from a writer we cannot reason about.
+			break
+		}
+		maxSeq = rec.Seq
+		if rec.Seq > afterSeq {
+			deltas = append(deltas, rec.Delta)
+		}
+		off = next
+		goodOff = off
+	}
+	return deltas, goodOff, maxSeq
+}
+
+// readCheckpointFile reads and validates one checkpoint blob: magic,
+// exactly one well-checksummed frame, matching version and key.
+func readCheckpointFile(path, key string) (Checkpoint, error) {
+	var ck Checkpoint
+	body, err := readMagicFile(path, ckptMagic)
+	if err != nil {
+		return ck, err
+	}
+	payload, next, ok := readFrame(body, 0)
+	if !ok || next != len(body) {
+		return ck, fmt.Errorf("persist: %s: corrupt frame", path)
+	}
+	if err := json.Unmarshal(payload, &ck); err != nil {
+		return ck, fmt.Errorf("persist: %s: %w", path, err)
+	}
+	if ck.Version != Version {
+		return ck, fmt.Errorf("persist: %s: version %d, want %d", path, ck.Version, Version)
+	}
+	if key != "" && ck.Key != key {
+		return ck, fmt.Errorf("persist: %s: checkpoint key %s under directory %s", path, ck.Key, key)
+	}
+	return ck, nil
+}
+
+// Create makes the program directory and writes its first checkpoint
+// and an empty WAL, returning the live Log. Any failure leaves no
+// half-created program behind.
+func (s *Store) Create(ck Checkpoint) (*Log, error) {
+	ck.Version = Version
+	dir := s.programDir(ck.Key)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	l := &Log{store: s, key: ck.Key, dir: dir, nextSeq: ck.Seq + 1}
+	if err := l.writeCheckpointLocked(ck); err != nil {
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	if err := l.resetWALLocked(); err != nil {
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	return l, nil
+}
+
+// Reopen recovers a single program directory — the lazy-rehydrate path
+// after an eviction. It returns (nil, nil) when key has no durable
+// state; a damaged blob is quarantined (exactly as Open would) and
+// returned as an error.
+func (s *Store) Reopen(key string) (*Recovered, error) {
+	if _, err := os.Stat(s.programDir(key)); err != nil {
+		return nil, nil
+	}
+	rec, err := s.recoverProgram(key)
+	if err != nil {
+		s.count("serve.persist_quarantined", 1)
+		if qerr := s.Quarantine(key); qerr != nil {
+			os.RemoveAll(s.programDir(key))
+		}
+		return nil, err
+	}
+	s.count("serve.persist_recovered", 1)
+	s.count("serve.persist_replayed", int64(len(rec.Deltas)))
+	return rec, nil
+}
+
+// Quarantine moves a program directory aside under quarantine/ so boot
+// never trips on it again but a human (or fsck) can inspect it.
+func (s *Store) Quarantine(key string) error {
+	qdir := filepath.Join(s.dir, "quarantine")
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return err
+	}
+	dst := filepath.Join(qdir, key)
+	for i := 1; ; i++ {
+		if _, err := os.Stat(dst); os.IsNotExist(err) {
+			break
+		}
+		dst = filepath.Join(qdir, fmt.Sprintf("%s.%d", key, i))
+	}
+	return os.Rename(s.programDir(key), dst)
+}
+
+// LastSeq returns the sequence number of the last appended record (or
+// the checkpoint's, when none).
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq - 1
+}
+
+// Records returns the number of WAL records since the last checkpoint —
+// the input to the serve layer's checkpoint-every policy.
+func (l *Log) Records() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.records
+}
+
+// Append stamps the delta with the next sequence number and appends one
+// fsync'd record. On failure the WAL is truncated back to its last good
+// record, so a failed append never leaves a partial frame for recovery
+// to trip on; if even the truncate fails the log marks itself broken
+// and refuses further appends (existing durable state stays intact).
+func (l *Log) Append(d Delta) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.broken {
+		return fmt.Errorf("persist: log for %s is broken (earlier append failed unrecoverably)", l.key)
+	}
+	payload, err := json.Marshal(walRecord{Seq: l.nextSeq, Delta: d})
+	if err != nil {
+		return err
+	}
+	buf := frame(payload)
+	err = l.store.write(l.wal, l.key, "persist.wal.append", buf)
+	if err == nil {
+		err = l.store.fsync(l.wal, l.key, "persist.wal.fsync")
+	}
+	if err != nil {
+		if terr := l.wal.Truncate(l.walOff); terr != nil {
+			l.broken = true
+		}
+		return err
+	}
+	l.walOff += int64(len(buf))
+	l.records++
+	l.nextSeq++
+	l.store.count("serve.persist_wal_records", 1)
+	l.store.count("serve.persist_wal_bytes", int64(len(buf)))
+	return nil
+}
+
+// Checkpoint atomically replaces the program's checkpoint with ck and
+// resets the WAL. The caller composes ck from its live state and stamps
+// ck.Seq = LastSeq(); records at or below it are covered. If the
+// checkpoint lands but the WAL reset fails, the log stays usable — the
+// stale records are skipped at recovery by the sequence guard — and the
+// error is reported so the caller can count it.
+func (l *Log) Checkpoint(ck Checkpoint) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ck.Version = Version
+	if err := l.writeCheckpointLocked(ck); err != nil {
+		return err
+	}
+	l.store.count("serve.persist_checkpoints", 1)
+	// The checkpoint now covers every record in the WAL; from the policy's
+	// point of view the log is empty even if the physical reset fails.
+	l.records = 0
+	if err := l.resetWALLocked(); err != nil {
+		return fmt.Errorf("persist: checkpoint written but WAL reset failed (stale records remain, harmless): %w", err)
+	}
+	return nil
+}
+
+func (l *Log) writeCheckpointLocked(ck Checkpoint) error {
+	payload, err := json.Marshal(ck)
+	if err != nil {
+		return err
+	}
+	return l.store.writeFileAtomic(l.key, "persist.checkpoint",
+		filepath.Join(l.dir, "CHECKPOINT"), ckptMagic, frame(payload))
+}
+
+// resetWALLocked atomically replaces the WAL with an empty one and
+// swings the append handle over to it.
+func (l *Log) resetWALLocked() error {
+	path := filepath.Join(l.dir, "WAL")
+	if err := l.store.writeFileAtomic(l.key, "persist.wal.reset", path, walMagic, nil); err != nil {
+		return err
+	}
+	wal, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if l.wal != nil {
+		l.wal.Close()
+	}
+	l.wal, l.walOff = wal, magicLen
+	return nil
+}
+
+// Close releases the WAL handle. The log must not be used afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.wal == nil {
+		return nil
+	}
+	err := l.wal.Close()
+	l.wal = nil
+	return err
+}

@@ -20,9 +20,11 @@ import (
 	"sync"
 	"time"
 
+	"github.com/conanalysis/owl/internal/faultinject"
 	"github.com/conanalysis/owl/internal/metrics"
 	"github.com/conanalysis/owl/internal/owl"
 	"github.com/conanalysis/owl/internal/report"
+	"github.com/conanalysis/owl/internal/serve/persist"
 )
 
 // Config tunes a Server. Zero values select the defaults noted on each
@@ -49,6 +51,22 @@ type Config struct {
 	// finished jobs' collectors are merged into it. Defaults to a fresh
 	// collector.
 	Metrics *metrics.Collector
+	// StateDir, when non-empty, makes the store crash-safe: every
+	// program's accumulated state persists under this directory as a
+	// checkpoint plus a WAL of per-job deltas, and New recovers it on
+	// boot (see internal/serve/persist). Empty = in-memory only.
+	StateDir string
+	// CheckpointEvery folds a program's WAL into a fresh checkpoint
+	// after this many records (default 8).
+	CheckpointEvery int
+	// MaxPrograms bounds the in-memory program states; exceeding it
+	// evicts the least-recently-used program with no jobs in flight
+	// (rehydrated lazily from StateDir on the next touch, or forgotten
+	// when persistence is off). 0 = unlimited.
+	MaxPrograms int
+	// Faults injects deterministic disk faults into the persistence
+	// layer (crash-consistency tests); nil injects nothing.
+	Faults *faultinject.Plan
 }
 
 func (c Config) withDefaults() Config {
@@ -72,6 +90,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Metrics == nil {
 		c.Metrics = metrics.New()
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 8
+	}
+	if c.MaxPrograms < 0 {
+		c.MaxPrograms = 0
 	}
 	return c
 }
@@ -100,16 +124,31 @@ type Server struct {
 }
 
 // New starts a server: one goroutine per shard, ready to accept jobs.
-func New(cfg Config) *Server {
+// With Config.StateDir set it first recovers every persisted program
+// (replaying checkpoint + WAL, quarantining anything damaged — recovery
+// never fails boot); the error return is only for an unusable state
+// directory itself.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
-		store:   newStore(cfg.SnapEntries),
+		store:   newStore(cfg.SnapEntries, cfg.MaxPrograms, cfg.Metrics),
 		mc:      cfg.Metrics,
 		jobs:    make(map[string]*Job),
 		tenants: make(map[string]int),
 		queued:  make([]int, cfg.Shards),
 		shards:  make([]chan *Job, cfg.Shards),
+	}
+	if cfg.StateDir != "" {
+		pstore, recovered, err := persist.Open(cfg.StateDir, persist.Options{
+			Faults:  cfg.Faults,
+			Metrics: cfg.Metrics,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.store.pstore = pstore
+		s.rehydrateAll(recovered)
 	}
 	s.runJob = s.execute
 	for i := range s.shards {
@@ -118,7 +157,7 @@ func New(cfg Config) *Server {
 		s.wg.Add(1)
 		go s.runShard(ch)
 	}
-	return s
+	return s, nil
 }
 
 // ErrRejected is returned by Submit when the service cannot accept the
@@ -147,7 +186,10 @@ func (s *Server) Submit(spec Spec) (*Job, error) {
 		tenant = "anonymous"
 		spec.Tenant = tenant
 	}
-	ps, existed := s.store.get(key, name, prog)
+	// acquire raises the program's inflight count (an in-flight program
+	// cannot be evicted out from under its jobs); every admission-failure
+	// return below must release it, success hands the reference to finish.
+	ps, existed := s.store.acquire(key, name, prog, sourceOf(spec))
 	shard := s.shardFor(key)
 
 	// Admission is one critical section: quota check, queue-capacity
@@ -158,14 +200,17 @@ func (s *Server) Submit(spec Spec) (*Job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
+		s.store.release(ps)
 		s.mc.Count("serve.jobs_rejected_drain", 1)
 		return nil, &ErrRejected{Reason: "server is draining", Drain: true}
 	}
 	if s.tenants[tenant] >= s.cfg.TenantQuota {
+		s.store.release(ps)
 		s.mc.Count("serve.jobs_rejected_quota", 1)
 		return nil, &ErrRejected{Reason: fmt.Sprintf("tenant %q is at its quota of %d in-flight jobs", tenant, s.cfg.TenantQuota)}
 	}
 	if s.queued[shard] >= s.cfg.QueueDepth {
+		s.store.release(ps)
 		s.mc.Count("serve.jobs_rejected_queue", 1)
 		return nil, &ErrRejected{Reason: fmt.Sprintf("shard %d queue is full (%d jobs)", shard, s.cfg.QueueDepth)}
 	}
@@ -233,6 +278,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		// Every job is drained; fold each program's WAL into a final
+		// checkpoint and release the file handles. (A kill that skips
+		// this loses nothing — the WAL already holds every job — it just
+		// leaves the compaction to the next boot's replay.)
+		s.persistAll(true)
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("serve: drain interrupted: %w", ctx.Err())
@@ -260,7 +310,7 @@ func (s *Server) runShard(ch chan *Job) {
 	}
 }
 
-// finish releases a job's admission accounting.
+// finish releases a job's admission accounting and its eviction pin.
 func (s *Server) finish(j *Job) {
 	s.mu.Lock()
 	s.tenants[j.spec.Tenant]--
@@ -269,6 +319,7 @@ func (s *Server) finish(j *Job) {
 	}
 	s.queued[j.shard]--
 	s.mu.Unlock()
+	s.store.release(j.ps)
 }
 
 // execute runs one job's pipeline on its shard goroutine. The admission
@@ -338,7 +389,11 @@ func (s *Server) run(j *Job) func(*JobStatus) {
 		return s.fail(j, err)
 	}
 
-	fresh, known, total, subs := j.ps.absorbRun(res)
+	freshIDs, known, total, subs := j.ps.absorbRun(res)
+	// Make the job durable before its terminal status publishes: a
+	// client that saw "done" and killed the server must find this job's
+	// contribution after restart.
+	s.persistJob(j.ps, freshIDs, subs)
 	var detectRuns64 int64
 	for _, c := range j.mc.Snapshot().Counters {
 		if c.Name == "owl.detect_runs" {
@@ -352,7 +407,7 @@ func (s *Server) run(j *Job) func(*JobStatus) {
 		Findings:          res.Stats.Findings,
 		VerifiedAttacks:   res.Stats.VerifiedAttacks,
 		ExecutedSchedules: detectRuns64,
-		NewReports:        fresh,
+		NewReports:        len(freshIDs),
 		KnownReports:      known,
 		StoreReports:      total,
 		Submissions:       subs,

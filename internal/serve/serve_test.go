@@ -24,6 +24,17 @@ func libsafeSpec(tenant string) Spec {
 	}
 }
 
+// mustNew builds a server, failing the test on a config error (only an
+// unusable state dir produces one).
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
 // gateRunJob swaps the server's job runner for one that blocks until
 // release is closed, then runs the real pipeline. Jobs admitted while
 // the gate is closed stay "in flight" deterministically.
@@ -70,7 +81,7 @@ func counterOf(mc *metrics.Collector, name string) int64 {
 
 // TestSubmitValidation pins the rejection surface for malformed specs.
 func TestSubmitValidation(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	defer s.Shutdown(context.Background())
 	cases := []Spec{
 		{},                                   // neither workload nor program
@@ -98,7 +109,7 @@ func TestSubmitValidation(t *testing.T) {
 // 429 + Retry-After); after the gate opens and the first job drains,
 // the same submission is accepted.
 func TestQueueBackpressure(t *testing.T) {
-	s := New(Config{Shards: 1, QueueDepth: 1, TenantQuota: 100})
+	s := mustNew(t, Config{Shards: 1, QueueDepth: 1, TenantQuota: 100})
 	defer s.Shutdown(context.Background())
 	release := gateRunJob(s)
 
@@ -127,7 +138,7 @@ func TestQueueBackpressure(t *testing.T) {
 // TestTenantQuota pins per-tenant admission: a tenant at its quota is
 // rejected while another tenant still gets in.
 func TestTenantQuota(t *testing.T) {
-	s := New(Config{Shards: 1, QueueDepth: 100, TenantQuota: 2})
+	s := mustNew(t, Config{Shards: 1, QueueDepth: 100, TenantQuota: 2})
 	defer s.Shutdown(context.Background())
 	release := gateRunJob(s)
 
@@ -171,7 +182,7 @@ func TestTenantQuota(t *testing.T) {
 // with the Drain flag (the HTTP layer's 503), and Shutdown returns once
 // the queues are dry.
 func TestGracefulDrain(t *testing.T) {
-	s := New(Config{Shards: 2, QueueDepth: 8})
+	s := mustNew(t, Config{Shards: 2, QueueDepth: 8})
 	release := gateRunJob(s)
 
 	var jobs []*Job
@@ -232,7 +243,7 @@ func TestGracefulDrain(t *testing.T) {
 // equal budget, and a third submission repeats the second's count
 // exactly (the determinism the serve-gate CI job re-runs under -race).
 func TestCrossSubmissionResume(t *testing.T) {
-	s := New(Config{Shards: 4, SnapEntries: 64})
+	s := mustNew(t, Config{Shards: 4, SnapEntries: 64})
 	defer s.Shutdown(context.Background())
 
 	run := func() *JobResult {
@@ -306,7 +317,7 @@ func TestSummaryMatchesCmdOwl(t *testing.T) {
 		{Workload: "apache", Options: SpecOptions{Explore: "fixed", Runs: 8, Workers: 2}},
 	}
 	for _, spec := range specs {
-		s := New(Config{Shards: 1})
+		s := mustNew(t, Config{Shards: 1})
 		j, err := s.Submit(spec)
 		if err != nil {
 			t.Fatalf("%s: submit: %v", spec.Workload, err)
@@ -367,7 +378,7 @@ entry:
   ret 0
 }
 `
-	s := New(Config{Shards: 2})
+	s := mustNew(t, Config{Shards: 2})
 	defer s.Shutdown(context.Background())
 	spec := Spec{Program: src, Options: SpecOptions{Explore: "coverage", Budget: 24, Seed: 3}}
 

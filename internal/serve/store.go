@@ -4,8 +4,10 @@ import (
 	"sort"
 	"sync"
 
+	"github.com/conanalysis/owl/internal/metrics"
 	"github.com/conanalysis/owl/internal/owl"
 	"github.com/conanalysis/owl/internal/sched"
+	"github.com/conanalysis/owl/internal/serve/persist"
 )
 
 // programState is everything the service accumulates for one program
@@ -27,6 +29,25 @@ type programState struct {
 
 	state *sched.ExploreState
 
+	// source and fp are the persisted identity: the spec fields the key
+	// hashes and the module fingerprint rehydration verifies.
+	source persist.ProgramSource
+	fp     string
+
+	// log is the program's durability handle (nil when persistence is
+	// off or permanently failed for this program). pmu serializes the
+	// per-job persistence path (TakeDelta+Append) against checkpoint
+	// composition so a checkpoint never snapshots a half-recorded job.
+	log *persist.Log
+	pmu sync.Mutex
+
+	// inflight and lastUsed are eviction bookkeeping, guarded by the
+	// store's mutex: inflight counts queued+running jobs (an evicted
+	// program must have none), lastUsed is the store's monotonic use
+	// tick (LRU order).
+	inflight int
+	lastUsed int64
+
 	mu sync.Mutex
 	// reports dedups raw race reports by ID across submissions; order
 	// keeps first-seen order for deterministic listings.
@@ -35,9 +56,10 @@ type programState struct {
 	submissions int
 }
 
-// absorbRun records a completed run: its raw report IDs (returning how
-// many were new to the store) and the submission count.
-func (ps *programState) absorbRun(res *owl.Result) (fresh, known, total, submissions int) {
+// absorbRun records a completed run: its raw report IDs (returning the
+// IDs that were new to the store, in first-seen order) and the
+// submission count.
+func (ps *programState) absorbRun(res *owl.Result) (freshIDs []string, known, total, submissions int) {
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
 	for _, r := range res.Raw {
@@ -48,29 +70,52 @@ func (ps *programState) absorbRun(res *owl.Result) (fresh, known, total, submiss
 		}
 		ps.reports[id] = true
 		ps.order = append(ps.order, id)
-		fresh++
+		freshIDs = append(freshIDs, id)
 	}
 	ps.submissions++
-	return fresh, known, len(ps.reports), ps.submissions
+	return freshIDs, known, len(ps.reports), ps.submissions
 }
 
-// store maps content-hash keys to accumulated program state.
+// store maps content-hash keys to accumulated program state. With a
+// persist store attached it is also the cache layer over the state
+// directory: misses rehydrate from disk, and exceeding maxPrograms
+// evicts the least-recently-used cold program (whose durable state, if
+// any, stays on disk for the next touch).
 type store struct {
 	mu          sync.Mutex
 	programs    map[string]*programState
 	snapEntries int
+	maxPrograms int
+	tick        int64
+	mc          *metrics.Collector
+	pstore      *persist.Store // nil = persistence off
 }
 
-func newStore(snapEntries int) *store {
-	return &store{programs: make(map[string]*programState), snapEntries: snapEntries}
+func newStore(snapEntries, maxPrograms int, mc *metrics.Collector) *store {
+	return &store{
+		programs:    make(map[string]*programState),
+		snapEntries: snapEntries,
+		maxPrograms: maxPrograms,
+		mc:          mc,
+	}
 }
 
-// get returns the state for key, creating (and pinning prog under it) on
-// first sight. The boolean reports whether the key already existed.
-func (s *store) get(key, name string, prog owl.Program) (*programState, bool) {
+// acquire returns the state for key with its inflight count already
+// raised — the caller owes exactly one release (directly on admission
+// failure, or via Server.finish when the job completes). On a miss it
+// first tries to rehydrate the program from disk, then creates it
+// fresh (laying down its initial checkpoint when persistence is on).
+// The boolean reports whether the key already existed in memory or on
+// disk.
+func (s *store) acquire(key, name string, prog owl.Program, src persist.ProgramSource) (*programState, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if ps, ok := s.programs[key]; ok {
+		s.touchLocked(ps)
+		return ps, true
+	}
+	if ps := s.reopenLocked(key, name, prog); ps != nil {
+		s.touchLocked(ps)
 		return ps, true
 	}
 	ps := &programState{
@@ -79,12 +124,136 @@ func (s *store) get(key, name string, prog owl.Program) (*programState, bool) {
 		prog:    prog,
 		state:   sched.NewExploreState(s.snapEntries),
 		reports: make(map[string]bool),
+		source:  src,
 	}
-	s.programs[key] = ps
+	if s.pstore != nil {
+		ps.fp = prog.Module.Fingerprint()
+		log, err := s.pstore.Create(persist.Checkpoint{
+			Key:      key,
+			Name:     name,
+			Source:   src,
+			ModuleFP: ps.fp,
+			State:    ps.state.Export(),
+		})
+		if err != nil {
+			s.mc.Count("serve.persist_errors", 1)
+		} else {
+			ps.log = log
+			ps.state.SetJournal(true)
+		}
+	}
+	s.insertLocked(ps)
 	return ps, false
 }
 
-// len returns the number of distinct programs the store has seen.
+// reopenLocked lazily rehydrates an evicted program's durable state.
+// Damaged or mismatched state is discarded (quarantined + counted) and
+// nil is returned so the caller starts fresh.
+func (s *store) reopenLocked(key, name string, prog owl.Program) *programState {
+	if s.pstore == nil {
+		return nil
+	}
+	rec, err := s.pstore.Reopen(key)
+	if err != nil || rec == nil {
+		return nil
+	}
+	ps, err := buildProgramState(rec, name, prog, s.snapEntries)
+	if err != nil {
+		rec.Log.Close()
+		s.discardLocked(key)
+		return nil
+	}
+	s.insertLocked(ps)
+	return ps
+}
+
+// insert adds a rehydrated program (boot path).
+func (s *store) insert(ps *programState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.insertLocked(ps)
+}
+
+func (s *store) insertLocked(ps *programState) {
+	s.tick++
+	ps.lastUsed = s.tick
+	s.programs[ps.key] = ps
+	s.evictLocked()
+}
+
+func (s *store) touchLocked(ps *programState) {
+	s.tick++
+	ps.lastUsed = s.tick
+	ps.inflight++
+}
+
+// release drops one inflight reference (job finished or admission
+// failed).
+func (s *store) release(ps *programState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ps.inflight > 0 {
+		ps.inflight--
+	}
+}
+
+// evictLocked enforces maxPrograms by dropping the least-recently-used
+// programs with no jobs in flight. With persistence on, an evicted
+// program's state survives on disk (every job was WAL-appended before
+// its terminal status published) and rehydrates on the next touch;
+// without, eviction deliberately forgets the accumulated state —
+// bounded memory beats unbounded resume.
+func (s *store) evictLocked() {
+	for s.maxPrograms > 0 && len(s.programs) > s.maxPrograms {
+		var victim *programState
+		for _, ps := range s.programs {
+			if ps.inflight > 0 {
+				continue
+			}
+			if victim == nil || ps.lastUsed < victim.lastUsed {
+				victim = ps
+			}
+		}
+		if victim == nil {
+			return // everything is hot; stay over budget rather than lose live state
+		}
+		delete(s.programs, victim.key)
+		if victim.log != nil {
+			victim.log.Close()
+			victim.log = nil
+		}
+		s.mc.Count("serve.programs_evicted", 1)
+	}
+}
+
+// discard quarantines a program's on-disk state (rehydration refused
+// it) and counts the loss.
+func (s *store) discard(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.discardLocked(key)
+}
+
+func (s *store) discardLocked(key string) {
+	if s.pstore != nil {
+		s.pstore.Quarantine(key)
+	}
+	s.mc.Count("serve.persist_discarded", 1)
+}
+
+// all snapshots the live program states (drain-time checkpoint sweep).
+func (s *store) all() []*programState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*programState, 0, len(s.programs))
+	for _, ps := range s.programs {
+		out = append(out, ps)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
+// len returns the number of distinct programs currently in memory.
 func (s *store) len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -109,12 +278,7 @@ type ProgramInfo struct {
 // mutex-guarded accessors, so a concurrent job run on another shard
 // cannot race the scrape.
 func (s *store) list() []ProgramInfo {
-	s.mu.Lock()
-	states := make([]*programState, 0, len(s.programs))
-	for _, ps := range s.programs {
-		states = append(states, ps)
-	}
-	s.mu.Unlock()
+	states := s.all()
 	out := make([]ProgramInfo, 0, len(states))
 	for _, ps := range states {
 		ps.mu.Lock()
@@ -129,6 +293,5 @@ func (s *store) list() []ProgramInfo {
 			Reports:      nRep,
 		})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out
 }

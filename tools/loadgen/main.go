@@ -60,6 +60,7 @@ func run(args []string) error {
 	queue := fs.Int("queue", 256, "per-shard queue depth")
 	quota := fs.Int("quota", 0, "per-tenant quota (0 = effectively unlimited for the load mix)")
 	tenants := fs.Int("tenants", 16, "distinct tenants in the submission mix")
+	restart := fs.Bool("restart", true, "after the load phase, simulate kill -9 and verify resume hits continue from disk")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -80,13 +81,27 @@ func run(args []string) error {
 		q = conc
 	}
 
-	srv := serve.New(serve.Config{
+	stateDir := ""
+	if *restart {
+		dir, err := os.MkdirTemp("", "owl-serve-load-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		stateDir = dir
+	}
+	cfg := serve.Config{
 		Shards:      *shards,
 		QueueDepth:  *queue,
 		TenantQuota: q,
 		SnapEntries: 64,
 		RetryAfter:  10 * time.Millisecond,
-	})
+		StateDir:    stateDir,
+	}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
 	handler := srv.Handler()
 
 	// The submission mix: a handful of distinct programs cycled across
@@ -124,11 +139,65 @@ func run(args []string) error {
 	}
 	wg.Wait()
 	wall := time.Since(start)
-	if err := srv.Shutdown(context.Background()); err != nil {
+
+	// The kill/restart scenario deliberately skips srv.Shutdown: the
+	// first server is abandoned mid-flight (the in-process analogue of
+	// kill -9, no drain-time checkpoint), so recovery must come from the
+	// WAL. The second server boots from the same state dir and every
+	// program in the mix must come back as a resume hit.
+	var rs *restartStats
+	if *restart {
+		rs, err = restartScenario(cfg, specs)
+		if err != nil {
+			return err
+		}
+	} else if err := srv.Shutdown(context.Background()); err != nil {
 		return err
 	}
 
-	return report(os.Stdout, srv, &c, latencies, wall, n, conc)
+	return report(os.Stdout, srv, &c, latencies, wall, n, conc, rs)
+}
+
+// restartStats is what the kill/restart phase measures: how long boot
+// recovery took and whether the warm state survived the crash.
+type restartStats struct {
+	recovery  time.Duration
+	resumed   int
+	submitted int
+}
+
+// restartScenario boots a fresh server over the dead one's state dir,
+// resubmits every program in the mix, and requires each to resume from
+// the recovered state.
+func restartScenario(cfg serve.Config, specs []serve.Spec) (*restartStats, error) {
+	cfg.Metrics = nil // fresh collector: count only post-restart activity
+	bootStart := time.Now()
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("restart: %w", err)
+	}
+	rs := &restartStats{recovery: time.Since(bootStart)}
+	handler := srv.Handler()
+	var c counters
+	for _, spec := range specs {
+		spec.Tenant = "restart-check"
+		if _, err := submitAndWait(handler, spec, &c); err != nil {
+			return nil, fmt.Errorf("restart resubmission: %w", err)
+		}
+		rs.submitted++
+	}
+	for _, cr := range srv.Metrics().Snapshot().Counters {
+		if cr.Name == "serve.resume_hits" {
+			rs.resumed = int(cr.Value)
+		}
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		return nil, err
+	}
+	if rs.resumed != rs.submitted {
+		return rs, fmt.Errorf("restart: %d/%d resubmissions resumed — state did not survive the crash", rs.resumed, rs.submitted)
+	}
+	return rs, nil
 }
 
 // mix returns the program rotation. Mostly built-in workloads at small
@@ -245,7 +314,7 @@ func lastSSEData(body string) (string, error) {
 // report writes the BENCH_serve.json stream: benchmark result rows the
 // benchfmt parser ingests, wrapped as test2json output events, plus a
 // human-readable summary line carrying the counter totals.
-func report(w *os.File, srv *serve.Server, c *counters, latencies []time.Duration, wall time.Duration, n, conc int) error {
+func report(w *os.File, srv *serve.Server, c *counters, latencies []time.Duration, wall time.Duration, n, conc int, rs *restartStats) error {
 	done := make([]time.Duration, 0, len(latencies))
 	for _, d := range latencies {
 		if d > 0 {
@@ -293,6 +362,12 @@ func report(w *os.File, srv *serve.Server, c *counters, latencies []time.Duratio
 		{"BenchmarkServeLoadtest/submit_to_done_mean", mean.Nanoseconds()},
 		{"BenchmarkServeLoadtest/sustained_per_job", perJob.Nanoseconds()},
 	}
+	if rs != nil {
+		rows = append(rows, struct {
+			name string
+			ns   int64
+		}{"BenchmarkServeLoadtest/recovery_boot", rs.recovery.Nanoseconds()})
+	}
 	for _, r := range rows {
 		if err := emit("%s 1 %d ns/op\n", r.name, r.ns); err != nil {
 			return err
@@ -306,6 +381,9 @@ func report(w *os.File, srv *serve.Server, c *counters, latencies []time.Duratio
 		serveCounters["serve.resume_hits"], serveCounters["serve.resume_misses"],
 		len(srv.Programs()),
 	)
+	if rs != nil {
+		summary += fmt.Sprintf(" restart_recovery=%s restart_resumed=%d/%d", rs.recovery, rs.resumed, rs.submitted)
+	}
 	if err := emit("%s\n", summary); err != nil {
 		return err
 	}
