@@ -88,26 +88,35 @@ func Fsck(dir string) (*FsckReport, error) {
 		walPath := filepath.Join(pdir, "WAL")
 		data, err := os.ReadFile(walPath)
 		if err != nil && !os.IsNotExist(err) {
+			// Boot recovery treats an unreadable WAL as an untrustworthy
+			// program and quarantines it; fsck applies the same rule
+			// rather than report the program ok with a buried error.
+			fp.OK = false
 			fp.Err = err.Error()
-		} else {
-			deltas, goodOff, _ := scanWAL(data, ck.Seq)
-			fp.Records = len(deltas)
-			if goodOff == 0 {
-				if len(data) > 0 {
-					fp.TruncatedBytes = int64(len(data)) - magicLen
-					if fp.TruncatedBytes < 0 {
-						fp.TruncatedBytes = int64(len(data))
-					}
-				}
-				os.WriteFile(walPath, []byte(walMagic), 0o644)
-			} else if goodOff < len(data) {
-				fp.TruncatedBytes = int64(len(data) - goodOff)
-				os.Truncate(walPath, int64(goodOff))
+			if qerr := s.Quarantine(key); qerr != nil {
+				os.RemoveAll(pdir)
 			}
-			for _, d := range deltas {
-				if d.SubmissionsAfter > fp.Submissions {
-					fp.Submissions = d.SubmissionsAfter
+			rep.Quarantined++
+			rep.Programs = append(rep.Programs, fp)
+			continue
+		}
+		deltas, goodOff, _ := scanWAL(data, ck.Seq)
+		fp.Records = len(deltas)
+		if goodOff == 0 {
+			if len(data) > 0 {
+				fp.TruncatedBytes = int64(len(data)) - magicLen
+				if fp.TruncatedBytes < 0 {
+					fp.TruncatedBytes = int64(len(data))
 				}
+			}
+			os.WriteFile(walPath, []byte(walMagic), 0o644)
+		} else if goodOff < len(data) {
+			fp.TruncatedBytes = int64(len(data) - goodOff)
+			os.Truncate(walPath, int64(goodOff))
+		}
+		for _, d := range deltas {
+			if d.SubmissionsAfter > fp.Submissions {
+				fp.Submissions = d.SubmissionsAfter
 			}
 		}
 		rep.OK++

@@ -124,7 +124,7 @@ type Log struct {
 	walOff  int64  // end of the last known-good record
 	records int    // records appended since the last checkpoint
 	nextSeq uint64 // sequence the next Append stamps
-	broken  bool   // truncate-back failed; appends refuse until restart
+	broken  bool   // truncate-back failed; appends refuse until a WAL reset swings in a fresh handle
 }
 
 // Recovered is one program successfully rehydrated by Open: its
@@ -381,7 +381,9 @@ func (l *Log) Records() int {
 // fsync'd record. On failure the WAL is truncated back to its last good
 // record, so a failed append never leaves a partial frame for recovery
 // to trip on; if even the truncate fails the log marks itself broken
-// and refuses further appends (existing durable state stays intact).
+// and refuses further appends — existing durable state stays intact —
+// until a successful checkpoint replaces the suspect WAL with a fresh
+// one.
 func (l *Log) Append(d Delta) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -458,6 +460,10 @@ func (l *Log) resetWALLocked() error {
 		l.wal.Close()
 	}
 	l.wal, l.walOff = wal, magicLen
+	// A fresh WAL handle at a known-good offset clears any earlier
+	// broken mark: broken meant "the old handle's tail is untrustworthy
+	// and could not be truncated back", and that handle is gone now.
+	l.broken = false
 	return nil
 }
 

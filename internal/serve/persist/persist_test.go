@@ -423,6 +423,82 @@ func TestFsck(t *testing.T) {
 	}
 }
 
+// TestBrokenLogRecoversAfterCheckpoint: a log marked broken (failed
+// truncate-back after a failed append) refuses appends only until a
+// successful checkpoint swings in a fresh WAL — not for the rest of the
+// process lifetime.
+func TestBrokenLogRecoversAfterCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := s.Create(testCheckpoint(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.mu.Lock()
+	l.broken = true
+	l.mu.Unlock()
+	if err := l.Append(testDelta(2)); err == nil {
+		t.Fatal("append on a broken log succeeded")
+	}
+	if err := l.Checkpoint(testCheckpoint(l.LastSeq(), 2)); err != nil {
+		t.Fatalf("checkpoint on a broken log: %v", err)
+	}
+	if err := l.Append(testDelta(3)); err != nil {
+		t.Fatalf("append still refused after the WAL was replaced: %v", err)
+	}
+	l.Close()
+
+	_, recovered, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 1 || len(recovered[0].Deltas) != 1 || recovered[0].Deltas[0].SubmissionsAfter != 3 {
+		t.Fatalf("recovered = %+v, want the one post-recovery delta", recovered)
+	}
+	recovered[0].Log.Close()
+}
+
+// TestFsckUnreadableWALQuarantines: a WAL that exists but cannot be
+// read is an untrustworthy program — fsck must quarantine it (as boot
+// recovery would), not report it ok with a buried error.
+func TestFsckUnreadableWALQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := s.Create(testCheckpoint(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	// A directory where the WAL file should be makes ReadFile fail with
+	// an error that is not NotExist, regardless of the test's privileges.
+	walPath := filepath.Join(dir, "programs", testKey, "WAL")
+	os.Remove(walPath)
+	if err := os.Mkdir(walPath, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Fsck(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != 0 || rep.Quarantined != 1 || len(rep.Programs) != 1 {
+		t.Fatalf("report = %+v, want the program quarantined", rep)
+	}
+	p := rep.Programs[0]
+	if p.OK || p.Err == "" {
+		t.Fatalf("verdict = %+v, want not-OK with the read error", p)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "programs", testKey)); !os.IsNotExist(err) {
+		t.Error("quarantined program still present under programs/")
+	}
+}
+
 // TestFsckEmptyDir: fsck of a nonexistent or empty dir is clean.
 func TestFsckEmptyDir(t *testing.T) {
 	rep, err := Fsck(filepath.Join(t.TempDir(), "never-created"))

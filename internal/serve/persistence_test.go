@@ -257,6 +257,43 @@ func TestEvictionRehydratesFromDisk(t *testing.T) {
 	}
 }
 
+// TestEvictionSparesInFlightProgram: a program whose first job is still
+// queued must survive a concurrent insert pushing the store over
+// -max-programs. acquire pins the program before it becomes visible to
+// the eviction sweep, so eviction can never close a log out from under
+// a job — the failure mode being a silently dropped durable delta.
+func TestEvictionSparesInFlightProgram(t *testing.T) {
+	s := mustNew(t, Config{Shards: 1, MaxPrograms: 1, StateDir: t.TempDir()})
+	defer s.Shutdown(context.Background())
+	release := gateRunJob(s)
+	defer release() // a Fatal below must not leave Shutdown waiting on the gate
+
+	j1 := mustSubmit(t, s, inlineSpec())       // fresh program, gated in flight
+	j2 := mustSubmit(t, s, libsafeSpec("pin")) // second program pushes the store over budget
+	if got := counterOf(s.mc, "serve.programs_evicted"); got != 0 {
+		t.Fatalf("serve.programs_evicted = %d with both programs in flight, want 0", got)
+	}
+	if got := s.store.len(); got != 2 {
+		t.Fatalf("store holds %d programs, want 2 (over budget, but both are pinned)", got)
+	}
+	release()
+	if first := waitJob(t, j1).Result; first.RawReports == 0 {
+		t.Fatal("gated job produced no reports; the durability assertion below tests nothing")
+	}
+	waitJob(t, j2)
+
+	// The first job's delta must have reached the WAL (its log was never
+	// closed by eviction): the resubmission resumes warm with the
+	// accumulated accounting, whether served from memory or from disk.
+	st := waitJob(t, mustSubmit(t, s, inlineSpec()))
+	if !st.Resume {
+		t.Error("resubmission after in-flight window did not resume — first job's state was lost")
+	}
+	if st.Result.Submissions != 2 {
+		t.Errorf("resubmission sees %d submissions, want 2", st.Result.Submissions)
+	}
+}
+
 // TestDrainWithStreamSubscribers: a drain racing in-flight SSE
 // subscribers must deliver every stream its terminal event and still
 // complete. (Run under -race in the persist-gate lane.)

@@ -84,6 +84,7 @@ func (ps *programState) absorbRun(res *owl.Result) (freshIDs []string, known, to
 type store struct {
 	mu          sync.Mutex
 	programs    map[string]*programState
+	pending     map[string]chan struct{} // keys whose create/reopen disk I/O is in flight
 	snapEntries int
 	maxPrograms int
 	tick        int64
@@ -94,6 +95,7 @@ type store struct {
 func newStore(snapEntries, maxPrograms int, mc *metrics.Collector) *store {
 	return &store{
 		programs:    make(map[string]*programState),
+		pending:     make(map[string]chan struct{}),
 		snapEntries: snapEntries,
 		maxPrograms: maxPrograms,
 		mc:          mc,
@@ -107,15 +109,57 @@ func newStore(snapEntries, maxPrograms int, mc *metrics.Collector) *store {
 // fresh (laying down its initial checkpoint when persistence is on).
 // The boolean reports whether the key already existed in memory or on
 // disk.
+//
+// The miss path does disk I/O (checkpoint create, or WAL replay on
+// reopen) and must not hold the store mutex across those fsyncs — one
+// slow disk would serialize every Submit on every shard. A per-key
+// pending slot keeps the mutex to map mutation only: the first caller
+// for a cold key claims the slot and materializes off-lock, later
+// callers for the same key wait on the slot and re-check the map;
+// callers for other keys are never blocked.
 func (s *store) acquire(key, name string, prog owl.Program, src persist.ProgramSource) (*programState, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if ps, ok := s.programs[key]; ok {
-		s.touchLocked(ps)
-		return ps, true
+	var gate chan struct{}
+	for {
+		s.mu.Lock()
+		if ps, ok := s.programs[key]; ok {
+			s.touchLocked(ps)
+			s.mu.Unlock()
+			return ps, true
+		}
+		ch, busy := s.pending[key]
+		if !busy {
+			gate = make(chan struct{})
+			s.pending[key] = gate
+			s.mu.Unlock()
+			break
+		}
+		s.mu.Unlock()
+		<-ch
 	}
-	if ps := s.reopenLocked(key, name, prog); ps != nil {
-		s.touchLocked(ps)
+
+	ps, existed := s.materialize(key, name, prog, src)
+
+	s.mu.Lock()
+	// Pin before inserting: insertLocked's eviction sweep (and any
+	// concurrent one) must never victimize a program whose first job is
+	// still queued or running — eviction closes the log, which would
+	// silently drop the job's durable delta. The caller's one owed
+	// release balances this pin.
+	ps.inflight = 1
+	s.insertLocked(ps)
+	delete(s.pending, key)
+	s.mu.Unlock()
+	close(gate)
+	return ps, existed
+}
+
+// materialize builds the in-memory state for a key that is not in the
+// store: rehydrate from disk when durable state exists, else create
+// fresh (laying down the initial checkpoint when persistence is on).
+// Runs outside the store mutex; the caller holds key's pending slot, so
+// exactly one goroutine materializes a given key at a time.
+func (s *store) materialize(key, name string, prog owl.Program, src persist.ProgramSource) (*programState, bool) {
+	if ps := s.reopen(key, name, prog); ps != nil {
 		return ps, true
 	}
 	ps := &programState{
@@ -142,14 +186,13 @@ func (s *store) acquire(key, name string, prog owl.Program, src persist.ProgramS
 			ps.state.SetJournal(true)
 		}
 	}
-	s.insertLocked(ps)
 	return ps, false
 }
 
-// reopenLocked lazily rehydrates an evicted program's durable state.
-// Damaged or mismatched state is discarded (quarantined + counted) and
-// nil is returned so the caller starts fresh.
-func (s *store) reopenLocked(key, name string, prog owl.Program) *programState {
+// reopen lazily rehydrates an evicted program's durable state. Damaged
+// or mismatched state is discarded (quarantined + counted) and nil is
+// returned so the caller starts fresh.
+func (s *store) reopen(key, name string, prog owl.Program) *programState {
 	if s.pstore == nil {
 		return nil
 	}
@@ -160,10 +203,9 @@ func (s *store) reopenLocked(key, name string, prog owl.Program) *programState {
 	ps, err := buildProgramState(rec, name, prog, s.snapEntries)
 	if err != nil {
 		rec.Log.Close()
-		s.discardLocked(key)
+		s.discard(key)
 		return nil
 	}
-	s.insertLocked(ps)
 	return ps
 }
 
@@ -227,14 +269,10 @@ func (s *store) evictLocked() {
 }
 
 // discard quarantines a program's on-disk state (rehydration refused
-// it) and counts the loss.
+// it) and counts the loss. It touches only the persist store, never the
+// program map, so it takes no store lock — the rename it performs is
+// disk I/O that must not block Submit admission.
 func (s *store) discard(key string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.discardLocked(key)
-}
-
-func (s *store) discardLocked(key string) {
 	if s.pstore != nil {
 		s.pstore.Quarantine(key)
 	}
