@@ -5,7 +5,10 @@
 #   make serve-gate      analysis-service gate under -race (drain, backpressure, resume)
 #   make persist-gate    durable-store gate: persistence + disk faults under -race,
 #                        plus the process-level kill-and-restart smoke
+#   make replica-gate    fleet-replication gate: peer state exchange + network-fault
+#                        matrix under -race
 #   make loadtest        in-process serve load harness -> BENCH_serve.json
+#                        (includes the multi-replica warm-start scenario)
 #   make faults          fault-injection suite under -race + canned-plan CLI runs
 #   make predict         predictor suites under -race + confirm-differential gate
 #   make engine-diff     cross-engine differential gate (tree vs bytecode)
@@ -26,12 +29,12 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: ci build vet test race serve-gate persist-gate loadtest faults predict engine-diff \
+.PHONY: ci build vet test race serve-gate persist-gate replica-gate loadtest faults predict engine-diff \
 	fmt-check golden golden-bytecode golden-update profile bench bench-smoke \
 	bench-pipeline bench-detector bench-explore bench-predict bench-interp \
 	bench-summary clean
 
-ci: build vet race serve-gate persist-gate faults predict engine-diff golden-bytecode
+ci: build vet race serve-gate persist-gate replica-gate faults predict engine-diff golden-bytecode
 
 build:
 	$(GO) build ./...
@@ -72,6 +75,21 @@ persist-gate:
 		-run 'Persist|Restart|Kill|DiskFault|Eviction|Drain|Checkpoint|Fsck'
 	$(GO) test -count=1 ./cmd/owl-serve/
 	@echo "durable-store gate passed"
+
+# Fleet-replication gate (docs/SERVE.md): the peer-client suite under
+# -race (retry/backoff, health cooldown, gzip negotiation, latest-wins
+# offer queue), then the serve-level state-exchange tests — endpoint
+# error paths, fleet warm-start end to end, anti-entropy convergence,
+# the network-fault matrix (peer down, slow, truncated, corrupt blob,
+# stale seq — a submission must never fail because of a peer), and
+# concurrent fetch-vs-evict — plus the faultinject suite the network
+# fault plans ride on.
+replica-gate:
+	$(GO) test -race -count=1 -shuffle=on ./internal/serve/replicate/
+	$(GO) test -race -count=1 ./internal/serve/ \
+		-run 'Replica|State|Peer|Fleet|AntiEntropy|StaleSeq|JobsAndMetricsMethods'
+	$(GO) test -race -count=1 ./internal/faultinject/
+	@echo "fleet-replication gate passed"
 
 # In-process load harness (tools/loadgen): ~1000 concurrent submissions
 # through the full HTTP path of the analysis service; p50/p99/mean

@@ -9,7 +9,15 @@
 //	owl-serve [-addr :8080] [-shards 4] [-queue 64] [-workers 1]
 //	          [-snap-entries 64] [-tenant-quota 16] [-drain-timeout 30s]
 //	          [-state-dir DIR] [-checkpoint-every 8] [-max-programs 0]
+//	          [-peers http://replica-2:8080,...] [-peer-timeout 2s]
 //	owl-serve -fsck -state-dir DIR
+//
+// With -peers the replica joins a fleet: a cold submission first asks
+// the listed peers for the program's accumulated state (so only one
+// replica ever pays a program's cold-start), and after each checkpoint
+// fold the replica pushes its newest state back out (anti-entropy). A
+// peer being down, slow, or corrupt never fails a submission — it only
+// costs warmth. See docs/SERVE.md.
 //
 // With -state-dir the store is crash-safe: every completed job is
 // WAL-appended under the directory before its status publishes, boot
@@ -34,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/conanalysis/owl/internal/cliflags"
 	"github.com/conanalysis/owl/internal/serve"
 )
 
@@ -57,9 +66,15 @@ func run(args []string) error {
 	stateDir := fs.String("state-dir", "", "state directory for crash-safe persistence (empty = in-memory only)")
 	checkpointEvery := fs.Int("checkpoint-every", 8, "fold a program's WAL into a checkpoint after this many records")
 	maxPrograms := fs.Int("max-programs", 0, "max in-memory program states; LRU-evict beyond this (0 = unlimited)")
+	peers := fs.String("peers", "", "comma-separated base URLs of the other fleet replicas (fleet warm-start; empty = off)")
+	peerTimeout := fs.Duration("peer-timeout", 2*time.Second, "per-request timeout against a fleet peer")
 	fsck := fs.Bool("fsck", false, "validate and repair -state-dir, print a report, and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	peerURLs, err := cliflags.ParsePeers(*peers)
+	if err != nil {
+		return fmt.Errorf("-peers: %w", err)
 	}
 
 	if *fsck {
@@ -87,6 +102,8 @@ func run(args []string) error {
 		StateDir:        *stateDir,
 		CheckpointEvery: *checkpointEvery,
 		MaxPrograms:     *maxPrograms,
+		Peers:           peerURLs,
+		PeerTimeout:     *peerTimeout,
 	})
 	if err != nil {
 		return err

@@ -9,6 +9,8 @@ package cliflags
 import (
 	"flag"
 	"fmt"
+	"net/url"
+	"strings"
 	"time"
 
 	"github.com/conanalysis/owl/internal/faultinject"
@@ -99,6 +101,33 @@ func (s *Shared) Mode() (owl.ExploreMode, error) {
 		return "", fmt.Errorf("unknown -explore mode %q (want fixed or coverage)", s.Explore)
 	}
 	return mode, nil
+}
+
+// ParsePeers splits and validates a -peers value: a comma-separated
+// list of http(s) base URLs, one per fleet replica. Entries are trimmed
+// and empties dropped, so trailing commas are harmless; a trailing
+// slash is stripped so the client can join paths naively. An empty
+// value returns nil — replication off.
+func ParsePeers(v string) ([]string, error) {
+	if strings.TrimSpace(v) == "" {
+		return nil, nil
+	}
+	var out []string
+	for _, part := range strings.Split(v, ",") {
+		p := strings.TrimSpace(part)
+		if p == "" {
+			continue
+		}
+		u, err := url.Parse(p)
+		if err != nil {
+			return nil, fmt.Errorf("peer %q: %w", p, err)
+		}
+		if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("peer %q: want an http(s) base URL like http://replica-2:8080", p)
+		}
+		out = append(out, strings.TrimRight(p, "/"))
+	}
+	return out, nil
 }
 
 // Plan loads the fault-injection plan named by -faults; nil when unset.

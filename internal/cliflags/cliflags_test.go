@@ -122,3 +122,37 @@ func TestPlanNilWhenUnset(t *testing.T) {
 		t.Errorf("Plan() = %v, %v; want nil, nil", plan, err)
 	}
 }
+
+func TestParsePeers(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want []string
+		ok   bool
+	}{
+		{"", nil, true},
+		{"  ", nil, true},
+		{"http://a:8080", []string{"http://a:8080"}, true},
+		{"http://a:8080/, https://b:9090 ,", []string{"http://a:8080", "https://b:9090"}, true},
+		{"a:8080", nil, false},
+		{"ftp://a:8080", nil, false},
+		{"http://", nil, false},
+	} {
+		got, err := ParsePeers(tc.in)
+		if tc.ok != (err == nil) {
+			t.Errorf("ParsePeers(%q) error = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if !tc.ok {
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("ParsePeers(%q) = %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("ParsePeers(%q)[%d] = %q, want %q", tc.in, i, got[i], tc.want[i])
+			}
+		}
+	}
+}

@@ -70,6 +70,34 @@ func isDisk(k Kind) bool {
 	return false
 }
 
+// Network-fault kinds. Like disk faults these never fire at Point —
+// the replica state-exchange client (internal/serve/replicate) consults
+// them through Net at each request, keyed by operation name (the rule's
+// Stage, e.g. "replicate.get" or "replicate.put") and the per-(peer,
+// operation) sequence number (the rule's Run). KindNetDown fails the
+// request without touching the wire (connection refused); KindNetSlow
+// stalls the request for DelayMS before letting it proceed (a peer that
+// answers slower than the client's timeout); KindNetTruncate cuts the
+// response body in half after a successful status (a proxy or peer
+// dying mid-transfer); KindNetFlip flips one bit of the response body
+// (corruption only the blob's CRC framing catches).
+const (
+	KindNetDown     Kind = "net-down"
+	KindNetSlow     Kind = "net-slow"
+	KindNetTruncate Kind = "net-truncate"
+	KindNetFlip     Kind = "net-flip"
+)
+
+// isNet reports whether the kind is a network fault (fired via Net, not
+// Point).
+func isNet(k Kind) bool {
+	switch k {
+	case KindNetDown, KindNetSlow, KindNetTruncate, KindNetFlip:
+		return true
+	}
+	return false
+}
+
 // Rule is one fault-injection directive.
 type Rule struct {
 	// Stage is the exact stage name the rule targets (e.g. "owl.detect",
@@ -88,12 +116,13 @@ type Rule struct {
 	// hash of (stage, run) falls below it — a deterministic coin flip
 	// keyed by the plan seed, never by wall clock or scheduling.
 	Prob float64 `json:"prob,omitempty"`
-	// DelayMS is the sleep for KindDelay, in milliseconds.
+	// DelayMS is the sleep for KindDelay and KindNetSlow, in
+	// milliseconds.
 	DelayMS int `json:"delay_ms,omitempty"`
 	// MaxSteps is the step-budget override for KindMaxSteps.
 	MaxSteps int `json:"max_steps,omitempty"`
-	// Bit is the bit offset KindBitFlip flips, taken modulo the buffer's
-	// bit length (so any value is valid for any write).
+	// Bit is the bit offset KindBitFlip/KindNetFlip flips, taken modulo
+	// the buffer's bit length (so any value is valid for any write).
 	Bit int `json:"bit,omitempty"`
 	// Msg labels the injected panic/error (default "injected <kind>").
 	Msg string `json:"msg,omitempty"`
@@ -127,12 +156,13 @@ func Parse(data []byte) (*Plan, error) {
 	for i, r := range p.Rules {
 		switch r.Kind {
 		case KindPanic, KindError, KindDelay, KindMaxSteps,
-			KindShortWrite, KindFsyncError, KindTornWrite, KindBitFlip:
+			KindShortWrite, KindFsyncError, KindTornWrite, KindBitFlip,
+			KindNetDown, KindNetSlow, KindNetTruncate, KindNetFlip:
 		default:
 			return nil, fmt.Errorf("faultinject: rule %d: unknown kind %q", i, r.Kind)
 		}
-		if r.Kind == KindDelay && r.DelayMS <= 0 {
-			return nil, fmt.Errorf("faultinject: rule %d: delay needs delay_ms > 0", i)
+		if (r.Kind == KindDelay || r.Kind == KindNetSlow) && r.DelayMS <= 0 {
+			return nil, fmt.Errorf("faultinject: rule %d: %s needs delay_ms > 0", i, r.Kind)
 		}
 		if r.Kind == KindMaxSteps && r.MaxSteps <= 0 {
 			return nil, fmt.Errorf("faultinject: rule %d: max-steps needs max_steps > 0", i)
@@ -202,7 +232,7 @@ func (p *Plan) Point(ctx context.Context, stage string, run int) error {
 	}
 	for i := range p.Rules {
 		r := &p.Rules[i]
-		if r.Kind == KindMaxSteps || isDisk(r.Kind) || !r.matches(stage, run) {
+		if r.Kind == KindMaxSteps || isDisk(r.Kind) || isNet(r.Kind) || !r.matches(stage, run) {
 			continue
 		}
 		if !p.take(i, r, stage, run) {
@@ -285,6 +315,47 @@ func (p *Plan) Disk(op string, seq int) *DiskFault {
 			msg = "injected " + string(r.Kind)
 		}
 		return &DiskFault{Kind: r.Kind, Bit: r.Bit, Msg: msg}
+	}
+	return nil
+}
+
+// NetFault describes one network fault Net decided to inject.
+type NetFault struct {
+	Kind    Kind
+	Bit     int
+	DelayMS int
+	Msg     string
+}
+
+func (n *NetFault) Error() string {
+	return fmt.Sprintf("injected %s: %s", n.Kind, n.Msg)
+}
+
+// Net is the replica-client injection hook: op names the request point
+// (the rule's Stage, e.g. "replicate.get") and seq is the per-(peer,
+// operation) sequence number of that request (the rule's Run; -1 in a
+// rule matches every occurrence). It returns the first matching network
+// rule's fault, or nil. The same determinism contract as Point and Disk
+// holds: whether a fault fires depends only on the plan, the op, the
+// sequence number, and prior hits of that exact point — never on
+// scheduling or wall clock.
+func (p *Plan) Net(op string, seq int) *NetFault {
+	if p == nil {
+		return nil
+	}
+	for i := range p.Rules {
+		r := &p.Rules[i]
+		if !isNet(r.Kind) || !r.matches(op, seq) {
+			continue
+		}
+		if !p.take(i, r, op, seq) {
+			continue
+		}
+		msg := r.Msg
+		if msg == "" {
+			msg = "injected " + string(r.Kind)
+		}
+		return &NetFault{Kind: r.Kind, Bit: r.Bit, DelayMS: r.DelayMS, Msg: msg}
 	}
 	return nil
 }

@@ -141,6 +141,57 @@ func TestDiskFaults(t *testing.T) {
 	}
 }
 
+// TestNetFaults pins the replica-client hook: network rules fire at Net
+// (keyed by op + sequence, honoring Times) and never at Point or Disk,
+// net-slow requires a delay, and a nil plan injects nothing.
+func TestNetFaults(t *testing.T) {
+	p := &Plan{Rules: []Rule{
+		{Stage: "replicate.get", Run: 1, Kind: KindNetDown},
+		{Stage: "replicate.get.body", Run: -1, Kind: KindNetFlip, Bit: 9, Times: 1},
+		{Stage: "replicate.put", Run: 0, Kind: KindNetSlow, DelayMS: 5},
+	}}
+	if f := p.Net("replicate.get", 0); f != nil {
+		t.Fatalf("seq 0 fired: %+v", f)
+	}
+	f := p.Net("replicate.get", 1)
+	if f == nil || f.Kind != KindNetDown {
+		t.Fatalf("seq 1 = %+v, want net-down", f)
+	}
+	f = p.Net("replicate.get.body", 3)
+	if f == nil || f.Kind != KindNetFlip || f.Bit != 9 {
+		t.Fatalf("body = %+v, want net-flip at 9", f)
+	}
+	if f = p.Net("replicate.get.body", 3); f != nil {
+		t.Fatalf("Times=1 rule fired twice: %+v", f)
+	}
+	if f = p.Net("replicate.put", 0); f == nil || f.Kind != KindNetSlow || f.DelayMS != 5 {
+		t.Fatalf("put = %+v, want net-slow 5ms", f)
+	}
+	// Net kinds are invisible to the pipeline and disk hooks, and vice
+	// versa.
+	if err := p.Point(context.Background(), "replicate.get", 1); err != nil {
+		t.Fatalf("net rule fired at Point: %v", err)
+	}
+	if f := p.Disk("replicate.get", 1); f != nil {
+		t.Fatalf("net rule fired at Disk: %+v", f)
+	}
+	disk := &Plan{Rules: []Rule{{Stage: "replicate.get", Run: -1, Kind: KindBitFlip}}}
+	if f := disk.Net("replicate.get", 0); f != nil {
+		t.Fatalf("disk rule fired at Net: %+v", f)
+	}
+	var nilPlan *Plan
+	if f := nilPlan.Net("replicate.get", 1); f != nil {
+		t.Fatalf("nil plan injected %+v", f)
+	}
+
+	if _, err := Parse([]byte(`{"rules":[{"stage":"replicate.get","run":0,"kind":"net-slow"}]}`)); err == nil {
+		t.Fatal("net-slow without delay_ms parsed")
+	}
+	if _, err := Parse([]byte(`{"rules":[{"stage":"replicate.get","run":0,"kind":"net-truncate"}]}`)); err != nil {
+		t.Fatalf("net-truncate rejected: %v", err)
+	}
+}
+
 // TestParseAcceptsDiskKinds: disk-fault plans load from JSON like any
 // other plan.
 func TestParseAcceptsDiskKinds(t *testing.T) {

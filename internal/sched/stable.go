@@ -198,6 +198,67 @@ func (s *ExploreState) TakeDelta() *StateDelta {
 	return d
 }
 
+// Merge folds a full snapshot from another replica into the state —
+// the warm-state counterpart of Import. Pairs and seen IDs union in
+// (set semantics), Explorations takes the max (both sides count real
+// absorbed explorations; max keeps the counter monotonic without
+// double-counting shared history). The same refuse-to-guess contract
+// as Import applies: any unresolvable pair fails the whole merge with
+// the state untouched. Unlike Import, merged knowledge DOES land in
+// the journal when journaling is on — it is durable on the peer it
+// came from, not here, and the next WAL record must carry it.
+//
+// The returned bool reports whether anything new landed; false means
+// the snapshot was stale (already a subset of this state).
+func (s *ExploreState) Merge(m *ir.Module, snap StateSnapshot) (bool, error) {
+	if s == nil {
+		return false, fmt.Errorf("sched: merge into nil ExploreState")
+	}
+	if m == nil || !m.Frozen() {
+		return false, fmt.Errorf("sched: merge needs a frozen module")
+	}
+	resolved := make([]covKey, len(snap.Pairs))
+	for i, p := range snap.Pairs {
+		k, ok := p.resolve(m)
+		if !ok {
+			return false, fmt.Errorf("sched: merge: pair %d (@%s#%d -> @%s#%d) does not resolve in module %s",
+				i, p.FromFn, p.FromIx, p.ToFn, p.ToIx, m.Name)
+		}
+		resolved[i] = k
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	changed := false
+	for i, k := range resolved {
+		if _, ok := s.cov.pairs[k]; ok {
+			continue
+		}
+		s.cov.pairs[k] = struct{}{}
+		changed = true
+		if s.journal != nil {
+			s.journal.Pairs = append(s.journal.Pairs, snap.Pairs[i])
+		}
+	}
+	for _, id := range snap.Seen {
+		if s.seen[id] {
+			continue
+		}
+		s.seen[id] = true
+		changed = true
+		if s.journal != nil {
+			s.journal.Seen = append(s.journal.Seen, id)
+		}
+	}
+	if snap.Explorations > s.explorations {
+		s.explorations = snap.Explorations
+		changed = true
+		if s.journal != nil {
+			s.journal.Explorations = s.explorations
+		}
+	}
+	return changed, nil
+}
+
 // ApplyDelta folds a journaled delta into the state (WAL replay during
 // recovery), re-binding its pairs against m under the same
 // refuse-to-guess contract as Import. Set semantics plus the absolute

@@ -18,6 +18,8 @@ const maxBodyBytes = 1 << 20
 //	GET  /v1/jobs/{id}        one job's status (result once done)
 //	GET  /v1/jobs/{id}/stream SSE status stream until the job finishes
 //	GET  /v1/programs         the store: accumulated per-program state
+//	GET  /v1/programs/{key}/state  program state blob for fleet peers
+//	PUT  /v1/programs/{key}/state  anti-entropy state offer from a peer
 //	GET  /metrics             live metrics snapshot (pipeline + serve.*)
 //	GET  /healthz             "ok" (503 once draining)
 func (s *Server) Handler() http.Handler {
@@ -27,6 +29,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/programs", s.handlePrograms)
+	mux.HandleFunc("GET /v1/programs/{key}/state", s.handleStateGet)
+	mux.HandleFunc("PUT /v1/programs/{key}/state", s.handleStateOffer)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux

@@ -18,11 +18,14 @@
 package persist
 
 import (
+	"bytes"
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"github.com/conanalysis/owl/internal/faultinject"
 )
@@ -38,13 +41,45 @@ const (
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// frame encodes one payload as len|crc|payload.
-func frame(payload []byte) []byte {
-	buf := make([]byte, 8+len(payload))
-	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
-	copy(buf[8:], payload)
+// encBufs pools the encode buffers behind every WAL append and
+// checkpoint write. The append path runs once per completed job on a
+// long-lived server; without pooling each record allocates a marshal
+// buffer plus a frame buffer of checkpoint-scale size and the steady
+// state churns the GC for no reason.
+var encBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+func getEncBuf() *bytes.Buffer {
+	buf := encBufs.Get().(*bytes.Buffer)
+	buf.Reset()
 	return buf
+}
+
+func putEncBuf(buf *bytes.Buffer) {
+	// Oversized one-off blobs (a giant checkpoint) would pin their
+	// capacity in the pool forever; let those go.
+	if buf.Cap() <= 4<<20 {
+		encBufs.Put(buf)
+	}
+}
+
+// marshalFramed JSON-encodes v directly into a pooled buffer laid out
+// as one complete frame (len|crc|payload) with no intermediate copies.
+// The caller must hand the buffer back via putEncBuf when the bytes
+// have been written out.
+func marshalFramed(v any) (*bytes.Buffer, error) {
+	buf := getEncBuf()
+	buf.Write(make([]byte, 8)) // frame header, filled in below
+	enc := json.NewEncoder(buf)
+	if err := enc.Encode(v); err != nil {
+		putEncBuf(buf)
+		return nil, err
+	}
+	buf.Truncate(buf.Len() - 1) // drop Encoder's trailing newline
+	b := buf.Bytes()
+	payload := b[8:]
+	binary.LittleEndian.PutUint32(b[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(b[4:8], crc32.Checksum(payload, castagnoli))
+	return buf, nil
 }
 
 // readFrame decodes the frame at data[off:]. ok is false when the bytes
@@ -141,10 +176,11 @@ func (s *Store) writeFileAtomic(key, op, path string, magic string, content []by
 	if err != nil {
 		return err
 	}
-	buf := make([]byte, 0, magicLen+len(content))
-	buf = append(buf, magic...)
-	buf = append(buf, content...)
-	if err := s.write(f, key, op+".write", buf); err != nil {
+	buf := getEncBuf()
+	defer putEncBuf(buf)
+	buf.WriteString(magic)
+	buf.Write(content)
+	if err := s.write(f, key, op+".write", buf.Bytes()); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err

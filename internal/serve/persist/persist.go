@@ -302,6 +302,68 @@ func readCheckpointFile(path, key string) (Checkpoint, error) {
 	return ck, nil
 }
 
+// EncodeCheckpoint renders ck as a standalone checkpoint blob — the
+// exact bytes a CHECKPOINT file holds (magic + one CRC-framed JSON
+// payload). This is also the replica state-exchange wire format
+// (internal/serve/replicate): what one replica serves is what another
+// could have read off disk, so both sides share one validator.
+func EncodeCheckpoint(ck Checkpoint) ([]byte, error) {
+	ck.Version = Version
+	buf, err := marshalFramed(ck)
+	if err != nil {
+		return nil, err
+	}
+	defer putEncBuf(buf)
+	out := make([]byte, 0, magicLen+buf.Len())
+	out = append(out, ckptMagic...)
+	out = append(out, buf.Bytes()...)
+	return out, nil
+}
+
+// DecodeCheckpoint validates and decodes a checkpoint blob produced by
+// EncodeCheckpoint (or read verbatim from a CHECKPOINT file): magic,
+// exactly one well-checksummed frame, matching format version. Key
+// identity is the caller's to verify — it knows which key it asked for.
+func DecodeCheckpoint(data []byte) (Checkpoint, error) {
+	var ck Checkpoint
+	if len(data) < magicLen || string(data[:magicLen]) != ckptMagic {
+		return ck, fmt.Errorf("persist: checkpoint blob: bad magic")
+	}
+	body := data[magicLen:]
+	payload, next, ok := readFrame(body, 0)
+	if !ok || next != len(body) {
+		return ck, fmt.Errorf("persist: checkpoint blob: corrupt frame")
+	}
+	if err := json.Unmarshal(payload, &ck); err != nil {
+		return ck, fmt.Errorf("persist: checkpoint blob: %w", err)
+	}
+	if ck.Version != Version {
+		return ck, fmt.Errorf("persist: checkpoint blob: version %d, want %d", ck.Version, Version)
+	}
+	return ck, nil
+}
+
+// CheckpointBlob reads a program's durable CHECKPOINT file verbatim and
+// validates it — the bytes a replica serves for a program it has
+// evicted from memory. The WAL tail is deliberately not folded in: the
+// blob is whatever the last checkpoint covered (ck.Seq says how much),
+// and a peer that wants fresher state will hear about it through the
+// next anti-entropy push.
+func (s *Store) CheckpointBlob(key string) ([]byte, Checkpoint, error) {
+	data, err := os.ReadFile(filepath.Join(s.programDir(key), "CHECKPOINT"))
+	if err != nil {
+		return nil, Checkpoint{}, err
+	}
+	ck, err := DecodeCheckpoint(data)
+	if err != nil {
+		return nil, Checkpoint{}, err
+	}
+	if ck.Key != key {
+		return nil, Checkpoint{}, fmt.Errorf("persist: checkpoint key %s under directory %s", ck.Key, key)
+	}
+	return data, ck, nil
+}
+
 // Create makes the program directory and writes its first checkpoint
 // and an empty WAL, returning the live Log. Any failure leaves no
 // half-created program behind.
@@ -390,12 +452,13 @@ func (l *Log) Append(d Delta) error {
 	if l.broken {
 		return fmt.Errorf("persist: log for %s is broken (earlier append failed unrecoverably)", l.key)
 	}
-	payload, err := json.Marshal(walRecord{Seq: l.nextSeq, Delta: d})
+	buf, err := marshalFramed(walRecord{Seq: l.nextSeq, Delta: d})
 	if err != nil {
 		return err
 	}
-	buf := frame(payload)
-	err = l.store.write(l.wal, l.key, "persist.wal.append", buf)
+	defer putEncBuf(buf)
+	n := buf.Len()
+	err = l.store.write(l.wal, l.key, "persist.wal.append", buf.Bytes())
 	if err == nil {
 		err = l.store.fsync(l.wal, l.key, "persist.wal.fsync")
 	}
@@ -405,11 +468,11 @@ func (l *Log) Append(d Delta) error {
 		}
 		return err
 	}
-	l.walOff += int64(len(buf))
+	l.walOff += int64(n)
 	l.records++
 	l.nextSeq++
 	l.store.count("serve.persist_wal_records", 1)
-	l.store.count("serve.persist_wal_bytes", int64(len(buf)))
+	l.store.count("serve.persist_wal_bytes", int64(n))
 	return nil
 }
 
@@ -437,12 +500,13 @@ func (l *Log) Checkpoint(ck Checkpoint) error {
 }
 
 func (l *Log) writeCheckpointLocked(ck Checkpoint) error {
-	payload, err := json.Marshal(ck)
+	buf, err := marshalFramed(ck)
 	if err != nil {
 		return err
 	}
+	defer putEncBuf(buf)
 	return l.store.writeFileAtomic(l.key, "persist.checkpoint",
-		filepath.Join(l.dir, "CHECKPOINT"), ckptMagic, frame(payload))
+		filepath.Join(l.dir, "CHECKPOINT"), ckptMagic, buf.Bytes())
 }
 
 // resetWALLocked atomically replaces the WAL with an empty one and

@@ -121,18 +121,25 @@ func (s *Server) rehydrateAll(recovered []*persist.Recovered) {
 
 // composeCheckpoint snapshots a program's full durable state. The
 // caller holds ps.pmu, so no job is between absorb and append and the
-// snapshot is one consistent version.
+// snapshot is one consistent version. For a memory-only program (no
+// log) the sequence number falls back to the exploration count — still
+// monotonic with the program's progress, which is all the replica
+// exchange's staleness check needs.
 func composeCheckpoint(ps *programState) persist.Checkpoint {
 	ps.mu.Lock()
 	reports := append([]string(nil), ps.order...)
 	subs := ps.submissions
 	ps.mu.Unlock()
+	seq := uint64(ps.state.Explorations())
+	if ps.log != nil {
+		seq = ps.log.LastSeq()
+	}
 	return persist.Checkpoint{
 		Key:         ps.key,
 		Name:        ps.name,
 		Source:      ps.source,
 		ModuleFP:    ps.fp,
-		Seq:         ps.log.LastSeq(),
+		Seq:         seq,
 		Submissions: subs,
 		Reports:     reports,
 		State:       ps.state.Export(),
@@ -166,6 +173,10 @@ func (s *Server) persistJob(ps *programState, freshIDs []string, submissions int
 	if ps.log.Records() >= s.cfg.CheckpointEvery {
 		if err := s.checkpointLocked(ps); err != nil {
 			s.mc.Count("serve.persist_errors", 1)
+		} else {
+			// Anti-entropy rides the fold cadence: the state just became
+			// one durable version, push that same version to the fleet.
+			s.offerState(ps)
 		}
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
+	"net/http"
 	"sync"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 	"github.com/conanalysis/owl/internal/owl"
 	"github.com/conanalysis/owl/internal/report"
 	"github.com/conanalysis/owl/internal/serve/persist"
+	"github.com/conanalysis/owl/internal/serve/replicate"
 )
 
 // Config tunes a Server. Zero values select the defaults noted on each
@@ -65,8 +67,23 @@ type Config struct {
 	// when persistence is off). 0 = unlimited.
 	MaxPrograms int
 	// Faults injects deterministic disk faults into the persistence
-	// layer (crash-consistency tests); nil injects nothing.
+	// layer and network faults into the replica client
+	// (crash-consistency and fleet-fault tests); nil injects nothing.
 	Faults *faultinject.Plan
+	// Peers is the base URLs of the other owl-serve replicas. Non-empty
+	// enables fleet warm-start: cold Submit misses fetch state from
+	// peers before paying cold-start, and checkpoint folds push state
+	// back out (see internal/serve/replicate and docs/SERVE.md).
+	Peers []string
+	// PeerTimeout/PeerRetries/PeerBackoff/PeerCoolDown tune the peer
+	// client (defaults per replicate.Config).
+	PeerTimeout  time.Duration
+	PeerRetries  int
+	PeerBackoff  time.Duration
+	PeerCoolDown time.Duration
+	// PeerClient issues peer requests (default a fresh http.Client; the
+	// in-process fleet harness installs handler-backed transports here).
+	PeerClient *http.Client
 }
 
 func (c Config) withDefaults() Config {
@@ -106,6 +123,7 @@ type Server struct {
 	cfg   Config
 	store *store
 	mc    *metrics.Collector
+	rep   *replicate.Replicator // nil = replication off
 
 	mu       sync.Mutex
 	draining bool
@@ -150,6 +168,17 @@ func New(cfg Config) (*Server, error) {
 		s.store.pstore = pstore
 		s.rehydrateAll(recovered)
 	}
+	s.rep = replicate.New(replicate.Config{
+		Peers:    cfg.Peers,
+		Timeout:  cfg.PeerTimeout,
+		Retries:  cfg.PeerRetries,
+		Backoff:  cfg.PeerBackoff,
+		CoolDown: cfg.PeerCoolDown,
+		Client:   cfg.PeerClient,
+		Faults:   cfg.Faults,
+		Metrics:  cfg.Metrics,
+	})
+	s.store.rep = s.rep
 	s.runJob = s.execute
 	for i := range s.shards {
 		ch := make(chan *Job, cfg.QueueDepth)
@@ -283,6 +312,17 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		// this loses nothing — the WAL already holds every job — it just
 		// leaves the compaction to the next boot's replay.)
 		s.persistAll(true)
+		if s.rep != nil {
+			// Final anti-entropy sweep: everything this replica learned
+			// goes out to the fleet before the process exits.
+			for _, ps := range s.store.all() {
+				if ps.state.Warm() {
+					s.offerState(ps)
+				}
+			}
+			s.rep.Flush(ctx)
+			s.rep.Close()
+		}
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("serve: drain interrupted: %w", ctx.Err())
@@ -394,6 +434,13 @@ func (s *Server) run(j *Job) func(*JobStatus) {
 	// client that saw "done" and killed the server must find this job's
 	// contribution after restart.
 	s.persistJob(j.ps, freshIDs, subs)
+	if j.ps.log == nil {
+		// Memory-only program: there is no checkpoint-fold cadence to
+		// ride, so anti-entropy pushes after every completed job (Offer
+		// is async and latest-wins, so a busy program collapses to one
+		// queued blob).
+		s.offerState(j.ps)
+	}
 	var detectRuns64 int64
 	for _, c := range j.mc.Snapshot().Counters {
 		if c.Name == "owl.detect_runs" {

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"context"
+	"fmt"
 	"sort"
 	"sync"
 
@@ -8,6 +10,7 @@ import (
 	"github.com/conanalysis/owl/internal/owl"
 	"github.com/conanalysis/owl/internal/sched"
 	"github.com/conanalysis/owl/internal/serve/persist"
+	"github.com/conanalysis/owl/internal/serve/replicate"
 )
 
 // programState is everything the service accumulates for one program
@@ -89,8 +92,30 @@ type store struct {
 	maxPrograms int
 	tick        int64
 	mc          *metrics.Collector
-	pstore      *persist.Store // nil = persistence off
+	pstore      *persist.Store        // nil = persistence off
+	rep         *replicate.Replicator // nil = replication off
 }
+
+// acquireOutcome reports how acquire obtained a program's state.
+type acquireOutcome int
+
+const (
+	// acqMemory: the key was already live in the program map.
+	acqMemory acquireOutcome = iota
+	// acqReopened: rehydrated from this replica's own durable state.
+	acqReopened
+	// acqImported: built from a peer blob (Fetch on a cold miss, or the
+	// seed checkpoint of a PUT offer). New to this replica.
+	acqImported
+	// acqFresh: created cold, no prior state anywhere.
+	acqFresh
+)
+
+// known reports whether the program already existed locally — the
+// Submit-side "existed" notion. Peer-imported programs are NOT known:
+// they are new entries this store just learned about, and the caller
+// counts them into serve.store_programs like any other first sight.
+func (o acquireOutcome) known() bool { return o == acqMemory || o == acqReopened }
 
 func newStore(snapEntries, maxPrograms int, mc *metrics.Collector) *store {
 	return &store{
@@ -118,13 +143,23 @@ func newStore(snapEntries, maxPrograms int, mc *metrics.Collector) *store {
 // callers for the same key wait on the slot and re-check the map;
 // callers for other keys are never blocked.
 func (s *store) acquire(key, name string, prog owl.Program, src persist.ProgramSource) (*programState, bool) {
+	ps, outcome := s.acquireSeeded(key, name, prog, src, nil, true)
+	return ps, outcome.known()
+}
+
+// acquireSeeded is acquire with the replication hooks exposed: seed,
+// when non-nil, is a peer-offered checkpoint to build a missing program
+// from (already identity-verified by the caller), and allowPeer gates
+// the cold-miss peer fetch (the PUT offer path must not re-fetch from
+// the peer that is pushing to us).
+func (s *store) acquireSeeded(key, name string, prog owl.Program, src persist.ProgramSource, seed *persist.Checkpoint, allowPeer bool) (*programState, acquireOutcome) {
 	var gate chan struct{}
 	for {
 		s.mu.Lock()
 		if ps, ok := s.programs[key]; ok {
 			s.touchLocked(ps)
 			s.mu.Unlock()
-			return ps, true
+			return ps, acqMemory
 		}
 		ch, busy := s.pending[key]
 		if !busy {
@@ -137,7 +172,7 @@ func (s *store) acquire(key, name string, prog owl.Program, src persist.ProgramS
 		<-ch
 	}
 
-	ps, existed := s.materialize(key, name, prog, src)
+	ps, outcome := s.materialize(key, name, prog, src, seed, allowPeer)
 
 	s.mu.Lock()
 	// Pin before inserting: insertLocked's eviction sweep (and any
@@ -150,17 +185,50 @@ func (s *store) acquire(key, name string, prog owl.Program, src persist.ProgramS
 	delete(s.pending, key)
 	s.mu.Unlock()
 	close(gate)
-	return ps, existed
+	return ps, outcome
+}
+
+// pin returns the live in-memory state for key with its inflight count
+// raised (so eviction cannot victimize it while the caller reads it),
+// or nil when the key is not in memory. The caller owes one release.
+// This is the state-serving endpoint's handle: it never materializes —
+// serving a peer must not fault a cold program into memory.
+func (s *store) pin(key string) *programState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ps, ok := s.programs[key]
+	if !ok {
+		return nil
+	}
+	s.touchLocked(ps)
+	return ps
 }
 
 // materialize builds the in-memory state for a key that is not in the
-// store: rehydrate from disk when durable state exists, else create
-// fresh (laying down the initial checkpoint when persistence is on).
-// Runs outside the store mutex; the caller holds key's pending slot, so
-// exactly one goroutine materializes a given key at a time.
-func (s *store) materialize(key, name string, prog owl.Program, src persist.ProgramSource) (*programState, bool) {
+// store, in warmth order: rehydrate from this replica's own disk, else
+// import the seed checkpoint (offer path) or a peer-fetched blob (cold
+// miss with replication on), else create fresh. A blob that fails
+// identity or state validation is discarded and the cold path proceeds
+// — a bad peer can cost warmth, never a job. Runs outside the store
+// mutex; the caller holds key's pending slot, so exactly one goroutine
+// materializes a given key at a time.
+func (s *store) materialize(key, name string, prog owl.Program, src persist.ProgramSource, seed *persist.Checkpoint, allowPeer bool) (*programState, acquireOutcome) {
 	if ps := s.reopen(key, name, prog); ps != nil {
-		return ps, true
+		return ps, acqReopened
+	}
+	ck, fetched := seed, false
+	if ck == nil && allowPeer && s.rep.Enabled() {
+		ck = s.rep.Fetch(context.Background(), key)
+		fetched = ck != nil
+	}
+	if ck != nil {
+		if ps, err := s.importCheckpoint(ck, name, prog); err == nil {
+			if fetched {
+				s.mc.Count("serve.replica_fetch_hits", 1)
+			}
+			return ps, acqImported
+		}
+		s.mc.Count("serve.replica_discarded", 1)
 	}
 	ps := &programState{
 		key:     key,
@@ -169,9 +237,13 @@ func (s *store) materialize(key, name string, prog owl.Program, src persist.Prog
 		state:   sched.NewExploreState(s.snapEntries),
 		reports: make(map[string]bool),
 		source:  src,
+		// The fingerprint is always computed (it is cached on the
+		// module, one hash per program first-sight): the state endpoint
+		// serves blobs whether or not persistence is on, and a blob
+		// without a fingerprint could never be trusted by a peer.
+		fp: prog.Module.Fingerprint(),
 	}
 	if s.pstore != nil {
-		ps.fp = prog.Module.Fingerprint()
 		log, err := s.pstore.Create(persist.Checkpoint{
 			Key:      key,
 			Name:     name,
@@ -186,7 +258,52 @@ func (s *store) materialize(key, name string, prog owl.Program, src persist.Prog
 			ps.state.SetJournal(true)
 		}
 	}
-	return ps, false
+	return ps, acqFresh
+}
+
+// importCheckpoint builds a live programState from a peer's blob under
+// the same refuse-to-guess contract as disk rehydration: the module
+// fingerprint must match the locally resolved program and every stable
+// coverage position must resolve, or the blob is rejected. On success
+// with persistence on, the imported state is laid down durably right
+// away — warmth bought from a peer should survive a restart too.
+func (s *store) importCheckpoint(ck *persist.Checkpoint, name string, prog owl.Program) (*programState, error) {
+	fp := prog.Module.Fingerprint()
+	if ck.ModuleFP != fp {
+		return nil, fmt.Errorf("module fingerprint %.12s does not match blob %.12s", fp, ck.ModuleFP)
+	}
+	state := sched.NewExploreState(s.snapEntries)
+	if err := state.Import(prog.Module, ck.State); err != nil {
+		return nil, err
+	}
+	ps := &programState{
+		key:         ck.Key,
+		name:        name,
+		prog:        prog,
+		state:       state,
+		reports:     make(map[string]bool, len(ck.Reports)),
+		submissions: ck.Submissions,
+		source:      ck.Source,
+		fp:          fp,
+	}
+	for _, id := range ck.Reports {
+		if !ps.reports[id] {
+			ps.reports[id] = true
+			ps.order = append(ps.order, id)
+		}
+	}
+	if s.pstore != nil {
+		dck := *ck
+		dck.Name = name
+		log, err := s.pstore.Create(dck)
+		if err != nil {
+			s.mc.Count("serve.persist_errors", 1)
+		} else {
+			ps.log = log
+			ps.state.SetJournal(true)
+		}
+	}
+	return ps, nil
 }
 
 // reopen lazily rehydrates an evicted program's durable state. Damaged
